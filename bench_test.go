@@ -1,0 +1,219 @@
+// Package xdgp_test holds the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation (each runs the
+// corresponding experiment driver in miniature and reports its headline
+// metrics), plus micro-benchmarks for the heuristic's hot paths.
+//
+// Regenerate the full-scale numbers with:
+//
+//	go run ./cmd/experiments -run all
+//
+// and the benchmark suite with:
+//
+//	go test -bench=. -benchmem
+package xdgp_test
+
+import (
+	"testing"
+
+	"xdgp/internal/adaptive"
+	"xdgp/internal/apps"
+	"xdgp/internal/bsp"
+	"xdgp/internal/core"
+	"xdgp/internal/experiments"
+	"xdgp/internal/gen"
+	"xdgp/internal/metis"
+	"xdgp/internal/partition"
+)
+
+// benchOpt is the bench-friendly configuration: miniature datasets, one
+// repetition, deterministic seed.
+func benchOpt() experiments.Options {
+	return experiments.Options{Quick: true, Reps: 1, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, m := range metrics {
+		if v, ok := last.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (dataset construction).
+func BenchmarkTable1Datasets(b *testing.B) {
+	runExperiment(b, "table1", "avgdeg.64kcube")
+}
+
+// BenchmarkFigure1WillingnessSweep regenerates Figure 1 (effect of s).
+func BenchmarkFigure1WillingnessSweep(b *testing.B) {
+	runExperiment(b, "fig1", "64kcube.cut.s=0.5", "64kcube.conv.s=0.5")
+}
+
+// BenchmarkFigure4InitialStrategies regenerates Figure 4 (initial
+// partitioning sensitivity, vs the METIS line).
+func BenchmarkFigure4InitialStrategies(b *testing.B) {
+	runExperiment(b, "fig4", "64kcube.HSH.initial", "64kcube.HSH.iterative", "64kcube.metis")
+}
+
+// BenchmarkFigure5GraphTypes regenerates Figure 5 (dependence on graph type).
+func BenchmarkFigure5GraphTypes(b *testing.B) {
+	runExperiment(b, "fig5", "1e4.HSH", "plc1000.HSH")
+}
+
+// BenchmarkFigure6Scalability regenerates Figure 6 (cut ratio and
+// convergence time vs size).
+func BenchmarkFigure6Scalability(b *testing.B) {
+	runExperiment(b, "fig6", "mesh.conv.n=1000", "mesh.conv.n=9900")
+}
+
+// BenchmarkFigure7Biomedical regenerates Figure 7 (cardiac FEM:
+// re-arrangement and burst absorption).
+func BenchmarkFigure7Biomedical(b *testing.B) {
+	runExperiment(b, "fig7", "initial.cut", "phaseA.cut", "phaseA.steady.time")
+}
+
+// BenchmarkFigure8Twitter regenerates Figure 8 (tweet stream, adaptive vs
+// static superstep time).
+func BenchmarkFigure8Twitter(b *testing.B) {
+	runExperiment(b, "fig8", "speedup")
+}
+
+// BenchmarkFigure9CDR regenerates Figure 9 (CDR stream, weekly cuts and
+// time per iteration).
+func BenchmarkFigure9CDR(b *testing.B) {
+	runExperiment(b, "fig9", "week4.dynamic.cuts", "week4.static.cuts")
+}
+
+// ---- Micro-benchmarks: the heuristic's hot paths ----
+
+// BenchmarkCoreIterationMesh measures one heuristic iteration on a mesh
+// (the per-iteration cost that Section 2 argues must stay lightweight).
+func BenchmarkCoreIterationMesh(b *testing.B) {
+	g := gen.Cube3D(20) // 8 000 vertices
+	cfg := core.DefaultConfig(9, 1)
+	cfg.RecordEvery = 0
+	p, err := core.New(g, partition.Hash(g, 9), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkCoreIterationPowerLaw measures one heuristic iteration on a
+// power-law graph with hubs.
+func BenchmarkCoreIterationPowerLaw(b *testing.B) {
+	g := gen.HolmeKim(8000, 7, 0.1, 1)
+	cfg := core.DefaultConfig(9, 1)
+	cfg.RecordEvery = 0
+	p, err := core.New(g, partition.Hash(g, 9), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkCoreRunToConvergence measures a full adaptive run on a small
+// mesh, the unit of the quality experiments.
+func BenchmarkCoreRunToConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := gen.Cube3D(10)
+		cfg := core.DefaultConfig(9, 1)
+		cfg.RecordEvery = 0
+		p, err := core.New(g, partition.Hash(g, 9), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := p.Run()
+		if i == b.N-1 {
+			b.ReportMetric(res.FinalCutRatio, "cut")
+			b.ReportMetric(float64(res.ConvergedAt), "conv")
+		}
+	}
+}
+
+// BenchmarkInitialStrategies measures each streaming initial partitioner.
+func BenchmarkInitialStrategies(b *testing.B) {
+	g := gen.HolmeKim(5000, 6, 0.1, 1)
+	for _, strat := range partition.Strategies() {
+		b.Run(string(strat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Initial(strat, g, 9, 1.10, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetisKWay measures the centralised multilevel baseline.
+func BenchmarkMetisKWay(b *testing.B) {
+	g := gen.Cube3D(12)
+	for i := 0; i < b.N; i++ {
+		a, err := metis.PartitionKWay(g, 9, metis.DefaultOptions(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(partition.CutRatio(g, a), "cut")
+		}
+	}
+}
+
+// BenchmarkEngineSuperstepPageRank measures one BSP superstep of PageRank
+// over 9 workers.
+func BenchmarkEngineSuperstepPageRank(b *testing.B) {
+	g := gen.Cube3D(16)
+	e, err := bsp.NewEngine(g, partition.Hash(g, 9), apps.NewPageRank(g.NumVertices(), 1<<30), bsp.Config{Workers: 9, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunSuperstep()
+	}
+}
+
+// BenchmarkAdaptivePlan measures one background repartitioning pass over
+// the whole vertex set.
+func BenchmarkAdaptivePlan(b *testing.B) {
+	g := gen.Cube3D(16)
+	e, err := bsp.NewEngine(g, partition.Hash(g, 9), apps.NewPageRank(g.NumVertices(), 1<<30), bsp.Config{Workers: 9, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := adaptive.New(adaptive.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetRepartitioner(svc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunSuperstep()
+	}
+}
+
+// BenchmarkGraphMutation measures the dynamic-graph mutation path
+// (vertex/edge churn) that the streams exercise.
+func BenchmarkGraphMutation(b *testing.B) {
+	g := gen.Cube3D(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		burst := gen.ForestFireExpansion(g, 10, gen.DefaultForestFire(), int64(i))
+		g.Apply(burst)
+	}
+}

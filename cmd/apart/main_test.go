@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDatasetEndToEnd(t *testing.T) {
+	err := run([]string{"-dataset", "plc1000", "-k", "4", "-initial", "RND", "-max-iterations", "60", "-metis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdgeListInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path, "-k", "2", "-initial", "HSH", "-max-iterations", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMetisInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.graph")
+	if err := os.WriteFile(path, []byte("3 3\n2 3\n1 3\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path, "-format", "metis", "-k", "2", "-max-iterations", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                   // no input
+		{"-dataset", "nope"}, // unknown dataset
+		{"-dataset", "plc1000", "-initial", "XXX"},  // unknown strategy
+		{"-dataset", "plc1000", "-input", "x"},      // both sources
+		{"-input", "/nonexistent/file"},             // missing file
+		{"-input", "/dev/null", "-format", "bogus"}, // unknown format
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints the rows/series the paper reports, plus shape notes.
+//
+// Examples:
+//
+//	experiments -run all            # every table and figure, full scale
+//	experiments -run fig4           # one experiment
+//	experiments -run fig7 -quick    # miniature (seconds, CI-friendly)
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xdgp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runID = fs.String("run", "all", "experiment id (or 'all'): "+strings.Join(experiments.IDs(), ", "))
+		quick = fs.Bool("quick", false, "miniature datasets and few repetitions")
+		reps  = fs.Int("reps", 0, "repetitions (0 = experiment default, the paper uses 10)")
+		seed  = fs.Int64("seed", 1, "base random seed")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	opt := experiments.Options{Quick: *quick, Reps: *reps, Seed: *seed, Out: os.Stdout}
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if _, err := experiments.Run(id, opt); err != nil {
+			return err
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

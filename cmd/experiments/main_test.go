@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	if err := run([]string{"-run", "table1", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xdgp/internal/graph"
+)
+
+func TestBuildVariants(t *testing.T) {
+	g, err := build("plc1000", "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("dataset build |V| = %d", g.NumVertices())
+	}
+	g, err = build("", "3x4x5", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 60 {
+		t.Fatalf("mesh build |V| = %d", g.NumVertices())
+	}
+	g, err = build("", "", "500:3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Fatalf("plc build |V| = %d", g.NumVertices())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct{ dataset, mesh, plc string }{
+		{"", "", ""},       // nothing specified
+		{"x", "1x1x1", ""}, // two specified
+		{"nope", "", ""},   // unknown dataset
+		{"", "3x4", ""},    // bad mesh dims
+		{"", "axbxc", ""},  // non-numeric mesh
+		{"", "", "500"},    // bad plc
+		{"", "", "1:0"},    // bad plc m
+	}
+	for _, c := range cases {
+		if _, err := build(c.dataset, c.mesh, c.plc, 1); err == nil {
+			t.Errorf("build(%q,%q,%q): expected error", c.dataset, c.mesh, c.plc)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.edges")
+	if err := run([]string{"-mesh", "2x2x2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadEdgeList(strings.NewReader(string(data)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 || g.NumEdges() != 12 {
+		t.Fatalf("emitted cube has |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEmitsFrames(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-side", "8", "-k", "4", "-frames", "3", "-every", "1", "-scale", "1", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, "frame_00"+string(rune('0'+i))+".ppm")
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 || string(data[:2]) != "P6" {
+			t.Fatalf("frame %d is not a PPM", i)
+		}
+	}
+}
+
+func TestRunBadOutDir(t *testing.T) {
+	if err := run([]string{"-side", "4", "-frames", "1", "-out", "/dev/null/x"}); err == nil {
+		t.Fatal("expected error for unwritable output dir")
+	}
+}

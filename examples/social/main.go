@@ -1,0 +1,110 @@
+// Social: continuous influence ranking over a live mention stream — the
+// paper's online-social-network use case (Section 4.3) at laptop scale.
+//
+// A synthetic day of tweets (diurnal rate, conversational communities,
+// Zipf celebrities) streams into two identical clusters running TunkRank
+// continuously: one adapts its partitioning in the background, the other
+// keeps static hash placement. The example prints the morning/afternoon/
+// evening progression of superstep times and the final influence podium.
+//
+// Run with: go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"xdgp/internal/adaptive"
+	"xdgp/internal/apps"
+	"xdgp/internal/bsp"
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+	"xdgp/internal/stats"
+)
+
+func main() {
+	const k = 9
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Users = 6000
+	cfg.Hours = 12
+	cfg.PeakRate = 20
+	cfg.TroughRate = 5
+
+	adaptiveTimes, adaptiveEngine := runDay(cfg, true)
+	staticTimes, _ := runDay(cfg, false)
+
+	fmt.Printf("mention stream: %d users, %d ten-minute windows\n\n", cfg.Users, len(adaptiveTimes.Y))
+	buckets := []struct {
+		name     string
+		from, to float64
+	}{
+		{"early", 0, 0.33}, {"midday", 0.33, 0.66}, {"late", 0.66, 1},
+	}
+	for _, b := range buckets {
+		fmt.Printf("%-8s static %.0f  adaptive %.0f cost units/superstep\n",
+			b.name, windowMean(staticTimes, b.from, b.to), windowMean(adaptiveTimes, b.from, b.to))
+	}
+	sMean := stats.Mean(staticTimes.Y[len(staticTimes.Y)/2:])
+	aMean := stats.Mean(adaptiveTimes.Y[len(adaptiveTimes.Y)/2:])
+	fmt.Printf("\nsecond-half mean superstep time: static %.0f vs adaptive %.0f (%.1f× faster)\n",
+		sMean, aMean, sMean/aMean)
+
+	// Influence podium from the adaptive cluster.
+	type ranked struct {
+		id  graph.VertexID
+		inf float64
+	}
+	var top []ranked
+	adaptiveEngine.Graph().ForEachVertex(func(v graph.VertexID) {
+		if inf, ok := adaptiveEngine.Value(v).(float64); ok {
+			top = append(top, ranked{v, inf})
+		}
+	})
+	sort.Slice(top, func(i, j int) bool { return top[i].inf > top[j].inf })
+	fmt.Println("\nmost influential users (TunkRank):")
+	for i := 0; i < 3 && i < len(top); i++ {
+		fmt.Printf("  #%d user %d, influence %.1f\n", i+1, top[i].id, top[i].inf)
+	}
+}
+
+// runDay replays the identical stream on a fresh cluster and returns the
+// superstep-time series.
+func runDay(cfg gen.TwitterConfig, adapt bool) (*stats.Series, *bsp.Engine) {
+	stream := gen.NewTwitterStream(cfg)
+	g := graph.NewDirected(cfg.Users)
+	e, err := bsp.NewEngine(g, partition.NewAssignment(0, 9), apps.NewTunkRank(), bsp.Config{
+		Workers: 9,
+		Seed:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if adapt {
+		svc, err := adaptive.New(adaptive.DefaultConfig(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.SetRepartitioner(svc)
+	}
+	e.SetStream(stream)
+	times := stats.NewSeries("time")
+	for i := 0; i < stream.NumTicks(); i++ {
+		st := e.RunSuperstep()
+		times.Add(float64(i), st.Time)
+	}
+	return times, e
+}
+
+// windowMean averages a fraction [from,to) of the series.
+func windowMean(s *stats.Series, from, to float64) float64 {
+	lo, hi := int(from*float64(s.Len())), int(to*float64(s.Len()))
+	if hi > s.Len() {
+		hi = s.Len()
+	}
+	if lo >= hi {
+		return 0
+	}
+	return stats.Mean(s.Y[lo:hi])
+}

@@ -1,0 +1,300 @@
+// Package adaptive integrates the greedy vertex-migration heuristic of
+// internal/core into the BSP engine as the paper's background partitioning
+// application (Section 3). It implements bsp.Repartitioner.
+//
+// The implementation follows the paper's two system protocols:
+//
+//   - Deferred vertex migration: requests returned from Plan enter the
+//     engine's two-barrier window — addressing changes immediately (peers
+//     are "notified" for superstep t+1), the physical move completes one
+//     barrier later, and no message is lost (engine-side, paper Fig. 3).
+//
+//   - Worker-to-worker capacity messaging: migration quotas at superstep t
+//     are computed from the predicted free capacities broadcast at the end
+//     of superstep t−1 (C^{t+1}(i) = C^t(i) − V_o + V_i), never from
+//     current global state — respecting Pregel's one-superstep messaging
+//     delay. The service keeps that delayed view in knownFree.
+//
+// Decisions themselves use only vertex-local information: the partitions
+// of a vertex's own neighbours (available locally because every worker
+// hears migration notices for vertices adjacent to its own) and the
+// delayed capacity vector.
+package adaptive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xdgp/internal/bsp"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// Config parameterises the background partitioner.
+type Config struct {
+	// S is the willingness to move (Section 2.3); the paper uses 0.5.
+	S float64
+	// CapacityFactor sizes partition capacities relative to the balanced
+	// load (the paper's experiments use 1.10).
+	CapacityFactor float64
+	// Interval runs the migration decision every n supersteps (1 = every
+	// superstep, the paper's continuous mode).
+	Interval int
+	// HotSpotAware enables the paper's second future-work extension
+	// (Section 6): partitions that measured hotter than the mean in the
+	// previous superstep advertise proportionally less free capacity, so
+	// migration pressure drains towards cool workers.
+	HotSpotAware bool
+	// Seed drives the move coins and tie-breaks.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's standard setting.
+func DefaultConfig(seed int64) Config {
+	return Config{S: 0.5, CapacityFactor: 1.10, Interval: 1, Seed: seed}
+}
+
+// Service is the adaptive repartitioning background application.
+type Service struct {
+	cfg Config
+	rng *rand.Rand
+
+	// knownFree is the delayed capacity knowledge: free slots per
+	// partition as of the previous barrier's capacity broadcast.
+	knownFree []int
+	booted    bool
+
+	// scratch
+	counts []int
+	tied   []partition.ID
+	quota  [][]int
+
+	// Totals for reporting.
+	totalRequested int
+	totalGranted   int
+}
+
+// New creates the service. It returns an error for invalid configuration.
+func New(cfg Config) (*Service, error) {
+	if cfg.S < 0 || cfg.S > 1 {
+		return nil, fmt.Errorf("adaptive: S must be in [0,1], got %g", cfg.S)
+	}
+	if cfg.CapacityFactor < 1.0 {
+		return nil, fmt.Errorf("adaptive: CapacityFactor must be ≥ 1.0, got %g", cfg.CapacityFactor)
+	}
+	if cfg.Interval < 1 {
+		cfg.Interval = 1
+	}
+	return &Service{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// TotalRequested returns how many migration requests vertices have made
+// (post-coin, pre-quota) over the service's lifetime.
+func (s *Service) TotalRequested() int { return s.totalRequested }
+
+// TotalGranted returns how many requests passed quota admission.
+func (s *Service) TotalGranted() int { return s.totalGranted }
+
+// Plan implements bsp.Repartitioner. It runs each worker's local decision
+// pass and returns the granted migration requests.
+func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
+	if view.Superstep()%s.cfg.Interval != 0 {
+		return nil
+	}
+	k := view.K()
+	if k < 2 {
+		return nil
+	}
+	g := view.Graph()
+	addr := view.Addr()
+	caps := partition.UniformCapacities(g.NumVertices(), k, s.cfg.CapacityFactor)
+
+	if len(s.counts) != k {
+		s.counts = make([]int, k)
+		s.quota = make([][]int, k)
+		for i := range s.quota {
+			s.quota[i] = make([]int, k)
+		}
+	}
+
+	// Capacity knowledge: the broadcast from the previous barrier. On the
+	// very first run the loading phase's broadcast equals current state.
+	sizes := addr.Sizes()
+	if !s.booted || len(s.knownFree) != k {
+		s.knownFree = make([]int, k)
+		for j := 0; j < k; j++ {
+			s.knownFree[j] = caps[j] - sizes[j]
+		}
+		s.booted = true
+	}
+
+	// Quotas from the delayed capacity view: Q(i,j) = ⌊free(j)/(k−1)⌋.
+	// With hot-spot awareness, partitions measured hotter than the mean
+	// advertise proportionally less free capacity.
+	var costs []float64
+	if s.cfg.HotSpotAware {
+		costs = view.WorkerCosts()
+	}
+	meanCost := 0.0
+	if len(costs) == k {
+		for _, c := range costs {
+			meanCost += c
+		}
+		meanCost /= float64(k)
+	}
+	for j := 0; j < k; j++ {
+		free := s.knownFree[j]
+		if free < 0 {
+			free = 0
+		}
+		if len(costs) == k && meanCost > 0 && costs[j] > meanCost {
+			free = int(float64(free) * meanCost / costs[j])
+		}
+		q := free / (k - 1)
+		for i := 0; i < k; i++ {
+			s.quota[i][j] = q
+		}
+	}
+
+	// Hotness per partition: fractional overload vs the mean measured
+	// cost. A vertex on an overloaded partition will consider leaving
+	// even when staying is locally optimal for the cut — load balancing
+	// traded against locality, the point of the extension.
+	hotness := make([]float64, k)
+	if len(costs) == k && meanCost > 0 {
+		for j := 0; j < k; j++ {
+			if h := costs[j]/meanCost - 1; h > 0 {
+				hotness[j] = h
+			}
+		}
+	}
+
+	var reqs []bsp.MigrationRequest
+	granted := make([]int, k)  // inbound grants per partition
+	departed := make([]int, k) // outbound grants per partition
+	g.ForEachVertex(func(v graph.VertexID) {
+		cur := addr.Of(v)
+		if cur == partition.None || view.Migrating(v) {
+			return
+		}
+		if s.cfg.S < 1 && s.rng.Float64() >= s.cfg.S {
+			return
+		}
+		best := s.bestPartitions(g, addr, v, cur)
+		if best == nil {
+			if hotness[cur] == 0 || s.rng.Float64() >= hotness[cur] {
+				return
+			}
+			// Hot-spot drain: staying is locally optimal for the cut,
+			// but the partition is overloaded — fall back to the best
+			// destinations among the other partitions.
+			best = s.bestOtherPartitions(g, addr, v, cur)
+			if best == nil {
+				return
+			}
+		}
+		s.totalRequested++
+		s.rng.Shuffle(len(best), func(i, j int) { best[i], best[j] = best[j], best[i] })
+		for _, dst := range best {
+			if s.quota[cur][dst] > 0 {
+				s.quota[cur][dst]--
+				reqs = append(reqs, bsp.MigrationRequest{V: v, To: dst})
+				granted[dst]++
+				departed[cur]++
+				s.totalGranted++
+				break
+			}
+		}
+	})
+
+	// Broadcast predicted capacities for the next superstep:
+	// C^{t+1}(i) = C^t(i) − V_in + V_out applied to the free view.
+	for j := 0; j < k; j++ {
+		s.knownFree[j] = caps[j] - (sizes[j] + granted[j] - departed[j])
+	}
+	return reqs
+}
+
+// bestPartitions mirrors core's greedy rule: argmax over |Γ(v) ∩ P(i)|
+// using only the locations of v's own neighbours; nil when the current
+// partition is itself among the best (prefer to stay). On directed graphs
+// both directions count — a cut edge costs communication whichever way
+// messages flow (mentions reach celebrities along in-edges).
+func (s *Service) bestPartitions(g *graph.Graph, addr *partition.Assignment, v graph.VertexID, cur partition.ID) []partition.ID {
+	counts := s.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	counts[cur]++
+	for _, w := range g.Neighbors(v) {
+		if pw := addr.Of(w); pw != partition.None {
+			counts[pw]++
+		}
+	}
+	if g.Directed() {
+		for _, w := range g.InNeighbors(v) {
+			if pw := addr.Of(w); pw != partition.None {
+				counts[pw]++
+			}
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if counts[cur] == max {
+		return nil
+	}
+	s.tied = s.tied[:0]
+	for i, c := range counts {
+		if c == max {
+			s.tied = append(s.tied, partition.ID(i))
+		}
+	}
+	return s.tied
+}
+
+// bestOtherPartitions returns the tied argmax destinations over
+// |Γ(v) ∩ P(i)| excluding the current partition — the fallback used by
+// the hot-spot drain, which must leave even when staying is optimal.
+func (s *Service) bestOtherPartitions(g *graph.Graph, addr *partition.Assignment, v graph.VertexID, cur partition.ID) []partition.ID {
+	counts := s.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, w := range g.Neighbors(v) {
+		if pw := addr.Of(w); pw != partition.None {
+			counts[pw]++
+		}
+	}
+	if g.Directed() {
+		for _, w := range g.InNeighbors(v) {
+			if pw := addr.Of(w); pw != partition.None {
+				counts[pw]++
+			}
+		}
+	}
+	max := -1
+	for i, c := range counts {
+		if partition.ID(i) != cur && c > max {
+			max = c
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	s.tied = s.tied[:0]
+	for i, c := range counts {
+		if partition.ID(i) != cur && c == max {
+			s.tied = append(s.tied, partition.ID(i))
+		}
+	}
+	return s.tied
+}
+
+var _ bsp.Repartitioner = (*Service)(nil)

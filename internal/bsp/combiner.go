@@ -1,0 +1,32 @@
+package bsp
+
+import "xdgp/internal/graph"
+
+// MessageCombiner is optionally implemented by programs whose messages can
+// be merged commutatively and associatively (Pregel's combiners): sums for
+// PageRank contributions, minima for shortest paths. When a program
+// declares a combiner, the engine folds messages to the same destination
+// together at the *sender*, before they are priced by the cost clock — the
+// same network saving a real Pregel combiner buys.
+type MessageCombiner interface {
+	CombineMessages(a, b any) any
+}
+
+// combine folds msg into the worker's outbox entry for dst if one already
+// exists in the destination worker's buffer, and reports whether it did.
+// The per-superstep index map makes the lookup O(1).
+func (w *worker) combine(dst graph.VertexID, msg any) bool {
+	idx, ok := w.combineIdx[dst]
+	if !ok {
+		return false
+	}
+	slot := &w.outbox[idx.worker][idx.pos]
+	slot.msg = w.combiner.CombineMessages(slot.msg, msg)
+	return true
+}
+
+// combineRef locates an outbox entry for in-place combining.
+type combineRef struct {
+	worker int
+	pos    int
+}

@@ -1,0 +1,560 @@
+package bsp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// Config parameterises the engine.
+type Config struct {
+	// Workers is the number of workers; each hosts exactly one partition
+	// (the configuration the paper's experiments imply), so Workers must
+	// equal the assignment's k.
+	Workers int
+	// Seed drives deterministic per-superstep worker randomness.
+	Seed int64
+	// Cost prices the simulated cluster; zero value means DefaultCostModel.
+	Cost CostModel
+	// RecordEvery controls how often the (O(E)) edge-cut statistic is
+	// computed: every n supersteps, or never when 0.
+	RecordEvery int
+	// CheckpointEvery takes a full checkpoint every n supersteps (0 = off);
+	// required for failure injection.
+	CheckpointEvery int
+	// Placer assigns partitions to vertices arriving from the stream; nil
+	// means hash placement.
+	Placer func(v graph.VertexID, k int) partition.ID
+}
+
+// MigrationRequest asks the engine to move vertex V to partition To using
+// the deferred protocol.
+type MigrationRequest struct {
+	V  graph.VertexID
+	To partition.ID
+}
+
+// Repartitioner is the hook the adaptive partitioning algorithm plugs into:
+// it is invoked at every superstep barrier and returns the migrations to
+// start. Implementations see a read-only view of the system.
+type Repartitioner interface {
+	Plan(view *View) []MigrationRequest
+}
+
+// View is the read-only system state handed to a Repartitioner.
+type View struct{ e *Engine }
+
+// K returns the number of partitions/workers.
+func (v *View) K() int { return v.e.cfg.Workers }
+
+// Superstep returns the superstep whose barrier is executing.
+func (v *View) Superstep() int { return v.e.superstep }
+
+// Graph returns the topology. Callers must treat it as read-only.
+func (v *View) Graph() *graph.Graph { return v.e.g }
+
+// Addr returns the current addressing table (vertex → partition). Callers
+// must treat it as read-only.
+func (v *View) Addr() *partition.Assignment { return v.e.addr }
+
+// Migrating reports whether the vertex is already in the deferred
+// migration window (decided but not yet physically moved).
+func (v *View) Migrating(id graph.VertexID) bool {
+	_, ok := v.e.pendingHome[id]
+	return ok
+}
+
+// WorkerCosts returns each worker's cost from the superstep whose barrier
+// is executing — the runtime hot-spot statistics the paper's second
+// future-work extension feeds back into balancing. The slice is owned by
+// the engine and must not be mutated.
+func (v *View) WorkerCosts() []float64 { return v.e.lastCosts }
+
+type outMsg struct {
+	dst graph.VertexID
+	msg any
+}
+
+// worker is the per-worker compute state. Workers own the vertices whose
+// home is their id; the engine guarantees exclusive access during the
+// parallel compute phase.
+type worker struct {
+	id            int
+	outbox        [][]outMsg
+	aggPartial    map[string]float64
+	aggMaxPartial map[string]float64
+	combiner      MessageCombiner
+	combineIdx    map[graph.VertexID]combineRef
+	cost          float64
+	localMsgs     int
+	remoteMsgs    int
+	computed      int
+}
+
+func (w *worker) reset(k int) {
+	if w.outbox == nil {
+		w.outbox = make([][]outMsg, k)
+	}
+	for i := range w.outbox {
+		w.outbox[i] = w.outbox[i][:0]
+	}
+	clear(w.aggPartial)
+	clear(w.aggMaxPartial)
+	if w.combiner != nil {
+		clear(w.combineIdx)
+	}
+	w.cost = 0
+	w.localMsgs = 0
+	w.remoteMsgs = 0
+	w.computed = 0
+}
+
+// send buffers a message for the barrier, classifying it local or remote
+// by the destination's address at send time. With a combiner, messages to
+// the same destination fold into one buffered (and one priced) message.
+func (w *worker) send(e *Engine, dst graph.VertexID, msg any) {
+	p := e.addr.Of(dst)
+	if p == partition.None {
+		return // destination unknown (removed or never existed): drop
+	}
+	if w.combiner != nil && w.combine(dst, msg) {
+		return
+	}
+	if int(p) == w.id {
+		w.localMsgs++
+	} else {
+		w.remoteMsgs++
+	}
+	w.outbox[p] = append(w.outbox[p], outMsg{dst: dst, msg: msg})
+	if w.combiner != nil {
+		w.combineIdx[dst] = combineRef{worker: int(p), pos: len(w.outbox[p]) - 1}
+	}
+}
+
+// Engine executes a Program over a partitioned dynamic graph.
+type Engine struct {
+	cfg  Config
+	g    *graph.Graph
+	prog Program
+
+	// addr is the addressing table: where messages for a vertex are sent.
+	// It is updated at the barrier where a migration is decided.
+	addr *partition.Assignment
+	// home is the compute location: which worker runs the vertex. It lags
+	// addr by one superstep for migrating vertices (deferred protocol).
+	home []int32
+	// pendingHome holds migrations awaiting their physical move.
+	pendingHome map[graph.VertexID]partition.ID
+
+	values []any
+	halted []bool
+	inbox  [][]any
+
+	workers    []*worker
+	aggregated map[string]float64
+	repart     Repartitioner
+	stream     graph.Stream
+
+	superstep     int
+	costPerVertex float64
+	msgsInFlight  int
+	lastCosts     []float64 // per-worker cost of the last superstep
+	history       []SuperstepStats
+
+	cp     *checkpoint
+	failAt map[int]bool
+	wg     sync.WaitGroup
+}
+
+// NewEngine builds an engine over g with the given initial assignment
+// (adopted, not copied) and vertex program.
+func NewEngine(g *graph.Graph, asn *partition.Assignment, prog Program, cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("bsp: Workers must be ≥ 1, got %d", cfg.Workers)
+	}
+	if asn.K() != cfg.Workers {
+		return nil, fmt.Errorf("bsp: assignment k=%d != Workers=%d", asn.K(), cfg.Workers)
+	}
+	if err := asn.Validate(g); err != nil {
+		return nil, fmt.Errorf("bsp: invalid assignment: %w", err)
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	e := &Engine{
+		cfg:           cfg,
+		g:             g,
+		prog:          prog,
+		addr:          asn,
+		pendingHome:   make(map[graph.VertexID]partition.ID),
+		aggregated:    make(map[string]float64),
+		failAt:        make(map[int]bool),
+		costPerVertex: 1,
+	}
+	if cd, ok := prog.(CostDeclarer); ok {
+		e.costPerVertex = cd.CostPerVertex()
+	}
+	combiner, _ := prog.(MessageCombiner)
+	e.workers = make([]*worker, cfg.Workers)
+	for i := range e.workers {
+		e.workers[i] = &worker{
+			id:            i,
+			aggPartial:    make(map[string]float64),
+			aggMaxPartial: make(map[string]float64),
+			combiner:      combiner,
+		}
+		if combiner != nil {
+			e.workers[i].combineIdx = make(map[graph.VertexID]combineRef)
+		}
+	}
+	e.grow()
+	ctx := &VertexContext{engine: e}
+	g.ForEachVertex(func(v graph.VertexID) {
+		e.home[v] = int32(asn.Of(v))
+		ctx.id = v
+		e.values[v] = prog.Init(ctx)
+	})
+	return e, nil
+}
+
+// grow sizes the per-vertex tables to the graph's slot count.
+func (e *Engine) grow() {
+	for len(e.home) < e.g.NumSlots() {
+		e.home = append(e.home, -1)
+		e.values = append(e.values, nil)
+		e.halted = append(e.halted, false)
+		e.inbox = append(e.inbox, nil)
+	}
+	e.addr.Grow(e.g.NumSlots())
+}
+
+// SetRepartitioner installs the background repartitioning service (nil
+// disables adaptation — the static baseline).
+func (e *Engine) SetRepartitioner(r Repartitioner) { e.repart = r }
+
+// SetStream installs the dynamic mutation stream consumed one batch per
+// superstep barrier.
+func (e *Engine) SetStream(s graph.Stream) { e.stream = s }
+
+// Graph returns the engine's topology.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Addr returns the live addressing table.
+func (e *Engine) Addr() *partition.Assignment { return e.addr }
+
+// Superstep returns the number of supersteps executed.
+func (e *Engine) Superstep() int { return e.superstep }
+
+// Value returns the current value of a vertex (nil for dead vertices).
+func (e *Engine) Value(v graph.VertexID) any {
+	if int(v) >= len(e.values) || v < 0 {
+		return nil
+	}
+	return e.values[v]
+}
+
+// Aggregated returns the named aggregator's value from the most recent
+// superstep that contributed to it (aggregators are sticky; see
+// RunSuperstep).
+func (e *Engine) Aggregated(name string) float64 { return e.aggregated[name] }
+
+// History returns the stats of every executed superstep.
+func (e *Engine) History() []SuperstepStats { return e.history }
+
+// ScheduleFailure makes the barrier of the given superstep simulate a
+// worker crash: the engine rolls back to its last checkpoint (Pregel-style
+// synchronous recovery). Requires CheckpointEvery > 0.
+func (e *Engine) ScheduleFailure(superstep int) { e.failAt[superstep] = true }
+
+// RunSuperstep executes one superstep (parallel compute, then barrier) and
+// returns its stats.
+func (e *Engine) RunSuperstep() SuperstepStats {
+	t := e.superstep
+
+	// ---- Parallel compute phase ----
+	for _, w := range e.workers {
+		w.reset(e.cfg.Workers)
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go func(w *worker) {
+			defer e.wg.Done()
+			e.computeWorker(w, t)
+		}(w)
+	}
+	e.wg.Wait()
+
+	// ---- Barrier phase (single-threaded) ----
+	st := SuperstepStats{Superstep: t, CutEdges: -1}
+
+	// 1. Complete physical moves decided at the previous barrier.
+	migCost := make([]float64, e.cfg.Workers)
+	if len(e.pendingHome) > 0 {
+		moves := make([]graph.VertexID, 0, len(e.pendingHome))
+		for v := range e.pendingHome {
+			moves = append(moves, v)
+		}
+		sort.Slice(moves, func(i, j int) bool { return moves[i] < moves[j] })
+		for _, v := range moves {
+			dst := e.pendingHome[v]
+			src := e.home[v]
+			if src >= 0 {
+				migCost[src] += e.cfg.Cost.PerMigration / 2
+			}
+			migCost[dst] += e.cfg.Cost.PerMigration / 2
+			e.home[v] = int32(dst)
+			st.MigrationsCompleted++
+		}
+		clear(e.pendingHome)
+	}
+
+	// 2. Deliver messages sent during this superstep (visible at t+1).
+	delivered := 0
+	for _, w := range e.workers {
+		st.LocalMsgs += w.localMsgs
+		st.RemoteMsgs += w.remoteMsgs
+		st.ActiveVertices += w.computed
+		for _, box := range w.outbox {
+			for _, m := range box {
+				if !e.g.Has(m.dst) {
+					continue // removed while in flight
+				}
+				e.inbox[m.dst] = append(e.inbox[m.dst], m.msg)
+				delivered++
+			}
+		}
+	}
+
+	// 3. Apply the stream's mutation batch.
+	if e.stream != nil && !e.stream.Done() {
+		st.Mutations = e.applyBatch(e.stream.Next())
+	}
+
+	// 4. Record per-worker costs of this superstep (compute is done, and
+	// migration shares are known from step 1), then run the repartitioner
+	// — it sees the load statistics the hot-spot extension consumes — and
+	// start migrations (deferred protocol: addressing changes now, the
+	// physical move completes next barrier).
+	if len(e.lastCosts) != len(e.workers) {
+		e.lastCosts = make([]float64, len(e.workers))
+	}
+	for i, w := range e.workers {
+		e.lastCosts[i] = w.cost + migCost[i]
+	}
+	if e.repart != nil {
+		reqs := e.repart.Plan(&View{e: e})
+		for _, r := range reqs {
+			if !e.g.Has(r.V) || r.To < 0 || int(r.To) >= e.cfg.Workers {
+				continue
+			}
+			if e.addr.Of(r.V) == r.To {
+				continue
+			}
+			if _, migrating := e.pendingHome[r.V]; migrating {
+				continue // already in the migration window
+			}
+			e.addr.Assign(r.V, r.To)
+			e.pendingHome[r.V] = r.To
+			st.MigrationsStarted++
+		}
+	}
+
+	// 5. Merge aggregators (sums, then maxes). Aggregators are sticky: a
+	// name keeps its last written value until a superstep contributes to
+	// it again, so results published by programs that then halt (e.g. the
+	// clique sizes) survive trailing quiet supersteps.
+	touched := make(map[string]bool)
+	for _, w := range e.workers {
+		for k, v := range w.aggPartial {
+			if !touched[k] {
+				touched[k] = true
+				e.aggregated[k] = 0
+			}
+			e.aggregated[k] += v
+		}
+	}
+	for _, w := range e.workers {
+		for k, v := range w.aggMaxPartial {
+			if !touched[k] {
+				touched[k] = true
+				e.aggregated[k] = v
+			} else if v > e.aggregated[k] {
+				e.aggregated[k] = v
+			}
+		}
+	}
+
+	// 6. Cost clock: slowest worker (including its share of migration
+	// work) plus the barrier constant.
+	maxCost := 0.0
+	for _, c := range e.lastCosts {
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	st.Time = maxCost + e.cfg.Cost.Barrier
+
+	// 7. Checkpoint / failure injection.
+	e.superstep++
+	if e.failAt[t] && e.cp != nil {
+		e.restore()
+		st.Recovered = true
+		st.Time += float64(e.cfg.Cost.Barrier) * 20 // recovery pause
+		delete(e.failAt, t)
+	} else if e.cfg.CheckpointEvery > 0 && e.superstep%e.cfg.CheckpointEvery == 0 {
+		e.snapshot()
+	}
+
+	if e.cfg.RecordEvery > 0 && t%e.cfg.RecordEvery == 0 {
+		st.CutEdges = partition.CutEdges(e.g, e.addr)
+		if m := e.g.NumEdges(); m > 0 {
+			st.CutRatio = float64(st.CutEdges) / float64(m)
+		}
+	}
+	e.msgsInFlight = delivered
+	e.history = append(e.history, st)
+	return st
+}
+
+func (e *Engine) computeWorker(w *worker, t int) {
+	ctx := VertexContext{engine: e, worker: w, superstep: t}
+	wid := int32(w.id)
+	for id := range e.home {
+		if e.home[id] != wid {
+			continue
+		}
+		v := graph.VertexID(id)
+		msgs := e.inbox[id]
+		if len(msgs) == 0 && e.halted[id] {
+			continue
+		}
+		e.halted[id] = false
+		ctx.id = v
+		e.prog.Compute(&ctx, msgs)
+		e.inbox[id] = nil
+		w.computed++
+	}
+	w.cost = float64(w.computed)*e.cfg.Cost.PerVertex*e.costPerVertex +
+		float64(w.localMsgs)*e.cfg.Cost.PerLocalMsg +
+		float64(w.remoteMsgs)*e.cfg.Cost.PerRemoteMsg
+}
+
+// applyBatch applies a stream batch at the barrier: vertices/edges change,
+// new vertices are placed and initialised, removed vertices are retired,
+// and mutation-touched vertices are reactivated.
+func (e *Engine) applyBatch(b graph.Batch) int {
+	if len(b) == 0 {
+		return 0
+	}
+	applied := e.g.Apply(b)
+	if applied == 0 {
+		return 0
+	}
+	e.grow()
+	ctx := &VertexContext{engine: e, superstep: e.superstep}
+	place := func(v graph.VertexID) {
+		if !e.g.Has(v) || e.addr.Of(v) != partition.None {
+			return
+		}
+		var p partition.ID
+		if e.cfg.Placer != nil {
+			p = e.cfg.Placer(v, e.cfg.Workers)
+		} else {
+			p = partition.HashVertex(v, e.cfg.Workers)
+		}
+		e.addr.Assign(v, p)
+		e.home[v] = int32(p)
+		ctx.id = v
+		e.values[v] = e.prog.Init(ctx)
+		e.halted[v] = false
+	}
+	activate := func(v graph.VertexID) {
+		if e.g.Has(v) {
+			e.halted[v] = false
+		}
+	}
+	for _, mu := range b {
+		switch mu.Kind {
+		case graph.MutAddVertex:
+			place(mu.U)
+		case graph.MutAddEdge:
+			place(mu.U)
+			place(mu.V)
+			activate(mu.U)
+			activate(mu.V)
+		case graph.MutRemoveEdge:
+			activate(mu.U)
+			activate(mu.V)
+		case graph.MutRemoveVertex:
+			if !e.g.Has(mu.U) && e.addr.Of(mu.U) != partition.None {
+				e.addr.Unassign(mu.U)
+				e.home[mu.U] = -1
+				e.values[mu.U] = nil
+				e.inbox[mu.U] = nil
+				e.halted[mu.U] = false
+				delete(e.pendingHome, mu.U)
+			}
+		}
+	}
+	return applied
+}
+
+// Quiescent reports whether the computation has nothing left to do: no
+// active vertices, no undelivered messages, no pending migrations and an
+// exhausted (or absent) stream.
+func (e *Engine) Quiescent() bool {
+	if e.msgsInFlight > 0 || len(e.pendingHome) > 0 {
+		return false
+	}
+	if e.stream != nil && !e.stream.Done() {
+		return false
+	}
+	quiet := true
+	e.g.ForEachVertex(func(v graph.VertexID) {
+		if !e.halted[v] || len(e.inbox[v]) > 0 {
+			quiet = false
+		}
+	})
+	return quiet
+}
+
+// ResetComputation reinitialises every vertex value via Program.Init and
+// reactivates all vertices, keeping the graph, the partitioning and the
+// superstep clock intact. The mobile-network use case uses this to rerun
+// the clique computation over each buffered window of graph changes while
+// the adaptive partitioning persists across runs (paper Section 4.3).
+func (e *Engine) ResetComputation() {
+	ctx := &VertexContext{engine: e, superstep: e.superstep}
+	e.g.ForEachVertex(func(v graph.VertexID) {
+		ctx.id = v
+		e.values[v] = e.prog.Init(ctx)
+		e.halted[v] = false
+		e.inbox[v] = nil
+	})
+}
+
+// RunSupersteps executes exactly n supersteps and returns their stats.
+func (e *Engine) RunSupersteps(n int) []SuperstepStats {
+	out := make([]SuperstepStats, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, e.RunSuperstep())
+	}
+	return out
+}
+
+// RunUntilQuiescent executes supersteps until the computation halts (all
+// vertices voted, no messages, stream done) or max supersteps elapse. It
+// returns the executed stats and whether quiescence was reached.
+func (e *Engine) RunUntilQuiescent(max int) ([]SuperstepStats, bool) {
+	out := make([]SuperstepStats, 0, 64)
+	for i := 0; i < max; i++ {
+		out = append(out, e.RunSuperstep())
+		if e.Quiescent() {
+			return out, true
+		}
+	}
+	return out, false
+}

@@ -1,0 +1,64 @@
+package bsp
+
+// CostModel prices the simulated cluster's operations. The engine's clock
+// charges each worker for its compute, messaging and migration work every
+// superstep and takes the slowest worker (BSP barrier) as the superstep
+// time — mirroring how the paper's iteration times are dominated by
+// network messaging (">80% of the time" in the biomedical and Twitter use
+// cases) and why cutting remote edges cuts iteration time.
+type CostModel struct {
+	// PerVertex is the charge for computing one active vertex (scaled by
+	// the program's CostPerVertex factor, if declared).
+	PerVertex float64
+	// PerLocalMsg is the charge for a message whose destination lives on
+	// the sending worker.
+	PerLocalMsg float64
+	// PerRemoteMsg is the charge for a cross-worker message; the paper's
+	// setting implies remote ≫ local.
+	PerRemoteMsg float64
+	// PerMigration is the charge for physically moving one vertex (state
+	// transfer plus bookkeeping).
+	PerMigration float64
+	// Barrier is the fixed synchronisation cost per superstep.
+	Barrier float64
+}
+
+// DefaultCostModel reflects a 10 GbE cluster where remote messages cost an
+// order of magnitude more than local handoffs and migrations move whole
+// vertex states.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerVertex:    0.01,
+		PerLocalMsg:  0.01,
+		PerRemoteMsg: 0.12,
+		PerMigration: 0.6,
+		Barrier:      1,
+	}
+}
+
+// SuperstepStats records one superstep of engine execution; the system
+// experiments (Figures 7, 8, 9) are plotted from these.
+type SuperstepStats struct {
+	Superstep int
+	// Time is the simulated superstep duration in cost units: the maximum
+	// per-worker cost plus the barrier constant.
+	Time float64
+	// ActiveVertices counts vertices that computed this superstep.
+	ActiveVertices int
+	LocalMsgs      int
+	RemoteMsgs     int
+	// MigrationsStarted counts migrations entering the deferred protocol
+	// at this superstep's barrier; MigrationsCompleted counts physical
+	// moves finishing.
+	MigrationsStarted   int
+	MigrationsCompleted int
+	// CutEdges is the edge cut of the current addressing table, or -1 when
+	// not recorded this superstep (Config.RecordEvery).
+	CutEdges int
+	CutRatio float64
+	// Mutations counts effective graph changes applied at the barrier.
+	Mutations int
+	// Recovered marks a superstep at which worker failure triggered a
+	// checkpoint rollback; Time then includes the recovery pause.
+	Recovered bool
+}

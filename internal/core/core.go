@@ -1,0 +1,479 @@
+// Package core implements the paper's primary contribution (Section 2):
+// a decentralised, iterative, greedy vertex-migration heuristic that adapts
+// a k-way graph partitioning to dynamic structural change using only local
+// per-vertex information.
+//
+// Every iteration, each vertex — with probability S, the "willingness to
+// move" that breaks neighbour-chasing symmetry (Section 2.3) — inspects the
+// partitions of its neighbourhood Γ(v) = {v} ∪ N(v) and requests migration
+// to a partition holding the most neighbours, preferring to stay when the
+// current partition is among the best. Per-pair migration quotas
+// Q(i,j) = C(j)/(k−1), derived worst-case from the free capacities known at
+// the start of the iteration (Section 2.2), keep partitions below their
+// capacity without any coordination. Granted moves are applied
+// simultaneously at the end of the iteration, matching the BSP semantics of
+// the system implementation in internal/bsp.
+//
+// This package is the sequential/simulation form used by the paper's
+// quality experiments (Figures 1, 4, 5, 6); internal/adaptive integrates
+// the same heuristic into the Pregel-like engine for the system experiments
+// (Figures 7, 8, 9).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// Config parameterises the heuristic. The zero value is invalid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// K is the number of partitions.
+	K int
+	// CapacityFactor sizes each partition's capacity as
+	// ceil(|V|/K × CapacityFactor); the paper's experiments use 1.10
+	// (110 % of the balanced load). Capacities are recomputed whenever the
+	// vertex count changes, so a dynamic graph keeps proportional slack.
+	CapacityFactor float64
+	// S is the willingness to move: the per-iteration probability that a
+	// vertex evaluates migration at all (Section 2.3). 0 < S ≤ 1; the
+	// paper recommends 0.5.
+	S float64
+	// ConvergenceWindow is the number of consecutive zero-migration
+	// iterations required to declare convergence; the paper uses 30.
+	ConvergenceWindow int
+	// MaxIterations bounds Run as a safety net.
+	MaxIterations int
+	// Seed drives every random choice (move coins, tie-breaks).
+	Seed int64
+	// RecordEvery controls how often per-iteration cut statistics are
+	// computed: every n iterations (n ≥ 1), or only on demand when 0.
+	// Migration counts are always recorded.
+	RecordEvery int
+	// Placer assigns partitions to vertices arriving from a dynamic
+	// stream before the heuristic adapts them; nil means hash placement
+	// with least-loaded fallback when the hashed partition is full.
+	Placer func(v graph.VertexID, k int) partition.ID
+	// BalanceEdges switches capacity accounting from vertex counts to
+	// edge endpoints (vertex degrees) — the paper's first future-work
+	// extension (Section 6). Quotas are then expressed in degree units
+	// and a migrating vertex consumes its degree.
+	BalanceEdges bool
+	// DisableQuotas removes the per-pair migration quotas of Section 2.2
+	// for ablation studies: it reproduces the node densification the
+	// quotas exist to prevent. All capacity guarantees are void when set.
+	DisableQuotas bool
+}
+
+// DefaultConfig returns the paper's standard setting: capacity 110 %,
+// s = 0.5, 30-iteration convergence window.
+func DefaultConfig(k int, seed int64) Config {
+	return Config{
+		K:                 k,
+		CapacityFactor:    1.10,
+		S:                 0.5,
+		ConvergenceWindow: 30,
+		MaxIterations:     5000,
+		Seed:              seed,
+		RecordEvery:       1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K must be ≥ 1, got %d", c.K)
+	}
+	if c.CapacityFactor < 1.0 {
+		return fmt.Errorf("core: CapacityFactor must be ≥ 1.0, got %g", c.CapacityFactor)
+	}
+	if c.S < 0 || c.S > 1 {
+		return fmt.Errorf("core: S must be in [0,1], got %g", c.S)
+	}
+	if c.ConvergenceWindow < 1 {
+		return fmt.Errorf("core: ConvergenceWindow must be ≥ 1, got %d", c.ConvergenceWindow)
+	}
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("core: MaxIterations must be ≥ 1, got %d", c.MaxIterations)
+	}
+	return nil
+}
+
+// IterationStats records one iteration of the heuristic; the system
+// experiments plot these series directly (e.g. Figure 7's cuts, migrations
+// and time-per-iteration curves are built from them).
+type IterationStats struct {
+	Iteration  int
+	Requested  int // vertices that passed the S coin and wanted to move
+	Migrations int // granted and applied moves
+	CutEdges   int // -1 when not recorded this iteration
+	CutRatio   float64
+	Imbalance  float64
+}
+
+// Result summarises a Run.
+type Result struct {
+	// Iterations is the total number of iterations executed, including the
+	// quiet convergence window.
+	Iterations int
+	// ConvergedAt is the iteration index after the last migration — the
+	// paper's "convergence time". Equal to Iterations when the run hit
+	// MaxIterations without converging.
+	ConvergedAt int
+	// Converged reports whether the zero-migration window was reached.
+	Converged bool
+	// FinalCutRatio is the cut ratio of the final assignment.
+	FinalCutRatio float64
+	// TotalMigrations accumulates granted moves over the whole run.
+	TotalMigrations int
+	// History holds per-iteration stats (cut fields filled according to
+	// Config.RecordEvery).
+	History []IterationStats
+}
+
+// Partitioner runs the adaptive heuristic over a graph and an assignment.
+// It owns neither: the graph may be mutated externally between iterations
+// (apply stream batches via ApplyBatch so bookkeeping stays consistent).
+type Partitioner struct {
+	cfg   Config
+	g     *graph.Graph
+	asn   *partition.Assignment
+	caps  []int
+	capsN int // vertex count the capacities were derived from
+	rng   *rand.Rand
+	iter  int
+	quiet int
+	// lastMigration is the iteration index of the most recent migration.
+	lastMigration int
+	// scratch buffers reused across iterations.
+	counts []int
+	tied   []partition.ID
+	moves  []move
+	quota  [][]int
+}
+
+type move struct {
+	v        graph.VertexID
+	from, to partition.ID
+}
+
+// New creates a Partitioner over g starting from the given initial
+// assignment (which it adopts and mutates in place).
+func New(g *graph.Graph, asn *partition.Assignment, cfg Config) (*Partitioner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if asn.K() != cfg.K {
+		return nil, fmt.Errorf("core: assignment has k=%d, config k=%d", asn.K(), cfg.K)
+	}
+	if err := asn.Validate(g); err != nil {
+		return nil, fmt.Errorf("core: invalid initial assignment: %w", err)
+	}
+	p := &Partitioner{
+		cfg:    cfg,
+		g:      g,
+		asn:    asn,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make([]int, cfg.K),
+		tied:   make([]partition.ID, 0, cfg.K),
+		quota:  make([][]int, cfg.K),
+	}
+	for i := range p.quota {
+		p.quota[i] = make([]int, cfg.K)
+	}
+	p.recomputeCapacities()
+	return p, nil
+}
+
+// Assignment returns the live assignment table (mutated by Step).
+func (p *Partitioner) Assignment() *partition.Assignment { return p.asn }
+
+// Capacities returns a copy of the current per-partition capacities.
+func (p *Partitioner) Capacities() []int { return append([]int(nil), p.caps...) }
+
+// Iteration returns the number of iterations executed so far.
+func (p *Partitioner) Iteration() int { return p.iter }
+
+// Converged reports whether the zero-migration window has been reached.
+func (p *Partitioner) Converged() bool { return p.quiet >= p.cfg.ConvergenceWindow }
+
+// recomputeCapacities re-derives C(i) from the current vertex count. The
+// heuristic calls it whenever |V| changes so that a growing graph keeps the
+// same proportional headroom (DESIGN.md §7).
+func (p *Partitioner) recomputeCapacities() {
+	p.capsN = p.g.NumVertices()
+	p.caps = partition.UniformCapacities(p.capsN, p.cfg.K, p.cfg.CapacityFactor)
+}
+
+// ApplyBatch applies a mutation batch to the graph, places any new
+// vertices, unassigns removed ones, resizes capacities, and resets the
+// convergence window (a changed graph must re-converge). It returns the
+// number of effective mutations.
+func (p *Partitioner) ApplyBatch(b graph.Batch) int {
+	if len(b) == 0 {
+		return 0
+	}
+	// Track vertices present before, to detect removals handled by Apply.
+	removedCandidates := make([]graph.VertexID, 0, len(b))
+	for _, mu := range b {
+		if mu.Kind == graph.MutRemoveVertex && p.g.Has(mu.U) {
+			removedCandidates = append(removedCandidates, mu.U)
+		}
+	}
+	applied := p.g.Apply(b)
+	if applied == 0 {
+		return 0
+	}
+	p.asn.Grow(p.g.NumSlots())
+	for _, v := range removedCandidates {
+		if !p.g.Has(v) {
+			p.asn.Unassign(v)
+		}
+	}
+	// Place newly-live vertices that have no partition yet.
+	for _, mu := range b {
+		switch mu.Kind {
+		case graph.MutAddVertex:
+			p.placeIfNew(mu.U)
+		case graph.MutAddEdge:
+			p.placeIfNew(mu.U)
+			p.placeIfNew(mu.V)
+		}
+	}
+	p.recomputeCapacities()
+	p.quiet = 0
+	return applied
+}
+
+func (p *Partitioner) placeIfNew(v graph.VertexID) {
+	if !p.g.Has(v) || p.asn.Of(v) != partition.None {
+		return
+	}
+	var target partition.ID
+	if p.cfg.Placer != nil {
+		target = p.cfg.Placer(v, p.cfg.K)
+	} else {
+		target = partition.HashVertex(v, p.cfg.K)
+		// Hash placement ignores capacity in real systems; we only divert
+		// when the hashed partition is already at capacity so the
+		// |P(i)| ≤ C(i) invariant survives stream growth.
+		if p.asn.Size(target) >= p.caps[target] {
+			target = p.leastLoaded()
+		}
+	}
+	p.asn.Assign(v, target)
+}
+
+func (p *Partitioner) leastLoaded() partition.ID {
+	best := partition.ID(0)
+	for i := 1; i < p.cfg.K; i++ {
+		if p.asn.Size(partition.ID(i)) < p.asn.Size(best) {
+			best = partition.ID(i)
+		}
+	}
+	return best
+}
+
+// Step executes one iteration of the heuristic and returns its stats.
+func (p *Partitioner) Step() IterationStats {
+	k := p.cfg.K
+	if p.g.NumVertices() != p.capsN {
+		p.recomputeCapacities()
+	}
+
+	// Capacity accounting: vertex counts by default, degree units with
+	// the edge-balanced extension.
+	caps := p.caps
+	var loads []int
+	if p.cfg.BalanceEdges {
+		caps = p.edgeCapacities()
+		loads = EdgeLoads(p.g, p.asn)
+	}
+	loadOf := func(j int) int {
+		if loads != nil {
+			return loads[j]
+		}
+		return p.asn.Size(partition.ID(j))
+	}
+	weight := func(v graph.VertexID) int {
+		if p.cfg.BalanceEdges {
+			if d := p.g.Degree(v); d > 0 {
+				return d
+			}
+		}
+		return 1
+	}
+
+	// Quotas from free capacity at the start of the iteration:
+	// Q(i,j) = floor(C_free(j) / (k−1)) for i ≠ j (Section 2.2).
+	for j := 0; j < k; j++ {
+		free := caps[j] - loadOf(j)
+		if free < 0 {
+			free = 0
+		}
+		q := free
+		if k > 1 {
+			q = free / (k - 1)
+		}
+		for i := 0; i < k; i++ {
+			p.quota[i][j] = q
+		}
+	}
+
+	p.moves = p.moves[:0]
+	requested := 0
+	if k > 1 {
+		p.g.ForEachVertex(func(v graph.VertexID) {
+			if p.cfg.S < 1 && p.rng.Float64() >= p.cfg.S {
+				return // unwilling this iteration
+			}
+			cur := p.asn.Of(v)
+			best := p.bestPartitions(v, cur)
+			if best == nil {
+				return // current partition is among the candidates: stay
+			}
+			requested++
+			// Try tied best destinations in random order until one has
+			// quota left; otherwise stay (worst-case capacity rule).
+			p.rng.Shuffle(len(best), func(i, j int) { best[i], best[j] = best[j], best[i] })
+			w := weight(v)
+			for _, dst := range best {
+				if p.cfg.DisableQuotas {
+					p.moves = append(p.moves, move{v: v, from: cur, to: dst})
+					break
+				}
+				if p.quota[cur][dst] >= w {
+					p.quota[cur][dst] -= w
+					p.moves = append(p.moves, move{v: v, from: cur, to: dst})
+					break
+				}
+			}
+		})
+	}
+
+	// Apply all granted migrations simultaneously (end of iteration).
+	for _, mv := range p.moves {
+		p.asn.Assign(mv.v, mv.to)
+	}
+
+	st := IterationStats{
+		Iteration:  p.iter,
+		Requested:  requested,
+		Migrations: len(p.moves),
+		CutEdges:   -1,
+	}
+	if p.cfg.RecordEvery > 0 && p.iter%p.cfg.RecordEvery == 0 {
+		st.CutEdges = partition.CutEdges(p.g, p.asn)
+		st.CutRatio = ratio(st.CutEdges, p.g.NumEdges())
+		st.Imbalance = partition.Imbalance(p.asn)
+	}
+	if len(p.moves) == 0 {
+		p.quiet++
+	} else {
+		p.quiet = 0
+		p.lastMigration = p.iter
+	}
+	p.iter++
+	return st
+}
+
+// bestPartitions returns the tied argmax destinations for v over
+// |Γ(v) ∩ P(i)|, or nil when the current partition is itself a candidate
+// (the heuristic preferentially stays, Section 2.1).
+func (p *Partitioner) bestPartitions(v graph.VertexID, cur partition.ID) []partition.ID {
+	counts := p.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	counts[cur]++ // Γ(v) includes v itself
+	for _, w := range p.g.Neighbors(v) {
+		if pw := p.asn.Of(w); pw != partition.None {
+			counts[pw]++
+		}
+	}
+	if p.g.Directed() {
+		// Both directions matter on digraphs: a cut edge costs
+		// communication whichever way messages flow.
+		for _, w := range p.g.InNeighbors(v) {
+			if pw := p.asn.Of(w); pw != partition.None {
+				counts[pw]++
+			}
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if counts[cur] == max {
+		return nil
+	}
+	p.tied = p.tied[:0]
+	for i, c := range counts {
+		if c == max {
+			p.tied = append(p.tied, partition.ID(i))
+		}
+	}
+	return p.tied
+}
+
+// Run iterates until convergence (ConvergenceWindow quiet iterations) or
+// MaxIterations, whichever comes first, and returns the run summary.
+func (p *Partitioner) Run() Result {
+	var res Result
+	for p.iter < p.cfg.MaxIterations && !p.Converged() {
+		st := p.Step()
+		res.History = append(res.History, st)
+		res.TotalMigrations += st.Migrations
+	}
+	res.Iterations = p.iter
+	res.Converged = p.Converged()
+	if res.Converged {
+		res.ConvergedAt = p.lastMigration + 1
+	} else {
+		res.ConvergedAt = p.iter
+	}
+	res.FinalCutRatio = partition.CutRatio(p.g, p.asn)
+	return res
+}
+
+// RunDynamic interleaves the heuristic with a mutation stream: each
+// iteration first applies the stream's next batch (if any), then runs one
+// Step. After the stream is exhausted the loop continues until convergence
+// or MaxIterations. It returns the run summary; History always includes
+// every iteration.
+func (p *Partitioner) RunDynamic(stream graph.Stream) Result {
+	var res Result
+	for p.iter < p.cfg.MaxIterations {
+		if !stream.Done() {
+			p.ApplyBatch(stream.Next())
+		} else if p.Converged() {
+			break
+		}
+		st := p.Step()
+		res.History = append(res.History, st)
+		res.TotalMigrations += st.Migrations
+	}
+	res.Iterations = p.iter
+	res.Converged = p.Converged()
+	if res.Converged {
+		res.ConvergedAt = p.lastMigration + 1
+	} else {
+		res.ConvergedAt = p.iter
+	}
+	res.FinalCutRatio = partition.CutRatio(p.g, p.asn)
+	return res
+}
+
+// CutRatio computes the current cut ratio on demand.
+func (p *Partitioner) CutRatio() float64 { return partition.CutRatio(p.g, p.asn) }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+func TestApplyBatchPlacesNewVertices(t *testing.T) {
+	g := gen.Cube3D(5)
+	p := mustNew(t, g, partition.Hash(g, 4), DefaultConfig(4, 1))
+	next := graph.VertexID(g.NumSlots())
+	batch := graph.Batch{
+		{Kind: graph.MutAddVertex, U: next},
+		{Kind: graph.MutAddEdge, U: next, V: 0},
+	}
+	if applied := p.ApplyBatch(batch); applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	if p.Assignment().Of(next) == partition.None {
+		t.Fatal("new vertex was not placed")
+	}
+	if err := p.Assignment().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchUnassignsRemoved(t *testing.T) {
+	g := gen.Cube3D(5)
+	p := mustNew(t, g, partition.Hash(g, 4), DefaultConfig(4, 1))
+	victim := graph.VertexID(7)
+	p.ApplyBatch(graph.Batch{{Kind: graph.MutRemoveVertex, U: victim}})
+	if p.Assignment().Of(victim) != partition.None {
+		t.Fatal("removed vertex still assigned")
+	}
+	if err := p.Assignment().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchResetsConvergence(t *testing.T) {
+	g := gen.Cube3D(5)
+	p := mustNew(t, g, partition.Hash(g, 4), DefaultConfig(4, 1))
+	p.Run()
+	if !p.Converged() {
+		t.Fatal("expected convergence")
+	}
+	next := graph.VertexID(g.NumSlots())
+	p.ApplyBatch(graph.Batch{
+		{Kind: graph.MutAddVertex, U: next},
+		{Kind: graph.MutAddEdge, U: next, V: 0},
+	})
+	if p.Converged() {
+		t.Fatal("mutation must reset the convergence window")
+	}
+}
+
+func TestApplyBatchEmptyAndNoop(t *testing.T) {
+	g := gen.Cube3D(4)
+	p := mustNew(t, g, partition.Hash(g, 4), DefaultConfig(4, 1))
+	if p.ApplyBatch(nil) != 0 {
+		t.Fatal("nil batch must be a no-op")
+	}
+	// A batch of pure duplicates applies nothing and keeps convergence.
+	p.Run()
+	if p.ApplyBatch(graph.Batch{{Kind: graph.MutAddVertex, U: 0}}) != 0 {
+		t.Fatal("duplicate add must apply nothing")
+	}
+	if !p.Converged() {
+		t.Fatal("no-op batch must not reset convergence")
+	}
+}
+
+func TestCapacityGrowsWithGraph(t *testing.T) {
+	g := gen.Cube3D(5) // 125 vertices
+	p := mustNew(t, g, partition.Hash(g, 4), DefaultConfig(4, 1))
+	cap0 := p.Capacities()[0]
+	// Add 25 % more vertices.
+	var batch graph.Batch
+	next := graph.VertexID(g.NumSlots())
+	for i := 0; i < 31; i++ {
+		batch = append(batch, graph.Mutation{Kind: graph.MutAddVertex, U: next + graph.VertexID(i)})
+		batch = append(batch, graph.Mutation{Kind: graph.MutAddEdge, U: next + graph.VertexID(i), V: graph.VertexID(i)})
+	}
+	p.ApplyBatch(batch)
+	if p.Capacities()[0] <= cap0 {
+		t.Fatalf("capacity did not grow: %d -> %d", cap0, p.Capacities()[0])
+	}
+}
+
+func TestForestFireAbsorption(t *testing.T) {
+	// The Figure 7(b) scenario in miniature: converge on a mesh, inject a
+	// 10 % forest-fire burst, and verify the heuristic re-converges with a
+	// cut ratio close to the pre-burst level.
+	g := gen.Cube3D(8) // 512 vertices
+	asn := partition.Hash(g, 4)
+	cfg := DefaultConfig(4, 1)
+	p := mustNew(t, g, asn, cfg)
+	res1 := p.Run()
+	if !res1.Converged {
+		t.Fatal("phase 1 did not converge")
+	}
+	preBurst := p.CutRatio()
+
+	burst := gen.ForestFireExpansion(g, g.NumVertices()/10, gen.DefaultForestFire(), 5)
+	p.ApplyBatch(burst)
+	afterBurst := p.CutRatio()
+
+	res2 := p.Run()
+	if !res2.Converged {
+		t.Fatal("did not re-converge after the burst")
+	}
+	recovered := p.CutRatio()
+	if err := p.Assignment().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// The burst must be absorbed: final cut within 1.5× of pre-burst, and
+	// not worse than the immediate post-burst state.
+	if recovered > preBurst*1.5+0.05 {
+		t.Fatalf("burst not absorbed: pre=%.3f post=%.3f recovered=%.3f", preBurst, afterBurst, recovered)
+	}
+	if recovered > afterBurst {
+		t.Fatalf("adaptation made things worse: post=%.3f recovered=%.3f", afterBurst, recovered)
+	}
+}
+
+func TestRunDynamicWithStream(t *testing.T) {
+	g := gen.Cube3D(6)
+	// Build a three-batch stream that tacks a small path onto the mesh.
+	next := graph.VertexID(g.NumSlots())
+	batches := []graph.Batch{
+		{{Kind: graph.MutAddVertex, U: next}, {Kind: graph.MutAddEdge, U: next, V: 0}},
+		{{Kind: graph.MutAddVertex, U: next + 1}, {Kind: graph.MutAddEdge, U: next + 1, V: next}},
+		{{Kind: graph.MutRemoveVertex, U: next}},
+	}
+	p := mustNew(t, g, partition.Hash(g, 4), DefaultConfig(4, 1))
+	res := p.RunDynamic(graph.NewSliceStream(batches))
+	if !res.Converged {
+		t.Fatal("dynamic run did not converge after stream end")
+	}
+	if !g.Has(next+1) || g.Has(next) {
+		t.Fatal("stream mutations were not applied")
+	}
+	if err := p.Assignment().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicCutStaysBounded(t *testing.T) {
+	// Continuous churn: the adaptive heuristic must keep the cut ratio
+	// bounded well below the static-hash level while edges arrive.
+	base := gen.HolmeKim(800, 4, 0.1, 1)
+	gAdaptive := base.Clone()
+	gStatic := base.Clone()
+
+	pa := mustNew(t, gAdaptive, partition.Hash(gAdaptive, 8), DefaultConfig(8, 2))
+	pa.Run() // optimise initial placement
+
+	staticAsn := partition.Hash(gStatic, 8)
+
+	// Apply identical growth to both, adapting only one.
+	for round := 0; round < 5; round++ {
+		burst := gen.ForestFireExpansion(gAdaptive, 40, gen.DefaultForestFire(), int64(round))
+		pa.ApplyBatch(burst)
+		gStatic.Apply(burst)
+		for _, mu := range burst {
+			if mu.Kind == graph.MutAddVertex {
+				staticAsn.Assign(mu.U, partition.HashVertex(mu.U, 8))
+			}
+		}
+		for i := 0; i < 30; i++ {
+			pa.Step()
+		}
+	}
+	adaptive := pa.CutRatio()
+	static := partition.CutRatio(gStatic, staticAsn)
+	if adaptive >= static {
+		t.Fatalf("adaptive %.3f not below static %.3f under churn", adaptive, static)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// This file implements the paper's stated future-work extensions
+// (Section 6) on top of the core heuristic:
+//
+//   - Edge-balanced partitioning: "as many graph algorithms like PageRank
+//     have a complexity that is proportional to the number of edges, we
+//     would like to extend our heuristic to create partitions that are
+//     balanced on the number of edges." Enabled with Config.BalanceEdges:
+//     capacities and quotas are accounted in edge endpoints (vertex
+//     degree) instead of vertex counts, so a hub "costs" its degree.
+//
+//   - Quota ablation: Config.DisableQuotas removes Section 2.2's
+//     capacity quotas entirely, reproducing the node densification the
+//     paper introduces them to prevent. For ablation studies only.
+
+// EdgeLoads returns the degree sum hosted by each partition — the load
+// metric of the edge-balanced extension.
+func EdgeLoads(g *graph.Graph, a *partition.Assignment) []int {
+	loads := make([]int, a.K())
+	g.ForEachVertex(func(v graph.VertexID) {
+		if p := a.Of(v); p != partition.None {
+			loads[p] += g.Degree(v)
+		}
+	})
+	return loads
+}
+
+// EdgeImbalance returns the maximum partition degree-sum divided by the
+// balanced share; 1.0 is perfect edge balance.
+func EdgeImbalance(g *graph.Graph, a *partition.Assignment) float64 {
+	loads := EdgeLoads(g, a)
+	total := 0
+	maxLoad := 0
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxLoad) / (float64(total) / float64(a.K()))
+}
+
+// edgeCapacities derives per-partition capacities in degree units.
+func (p *Partitioner) edgeCapacities() []int {
+	total := 0
+	p.g.ForEachVertex(func(v graph.VertexID) { total += p.g.Degree(v) })
+	return partition.UniformCapacities(total, p.cfg.K, p.cfg.CapacityFactor)
+}

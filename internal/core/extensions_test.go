@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+func TestEdgeLoadsAndImbalance(t *testing.T) {
+	// A star with the hub in partition 0: partition 0 carries half of all
+	// edge endpoints.
+	g := graph.NewUndirected(0)
+	hub := g.AddVertex()
+	asn := partition.NewAssignment(1, 2)
+	asn.Assign(hub, 0)
+	for i := 0; i < 10; i++ {
+		leaf := g.AddVertex()
+		g.AddEdge(hub, leaf)
+		asn.Grow(g.NumSlots())
+		asn.Assign(leaf, 1)
+	}
+	loads := EdgeLoads(g, asn)
+	if loads[0] != 10 || loads[1] != 10 {
+		t.Fatalf("loads = %v, want [10 10]", loads)
+	}
+	if imb := EdgeImbalance(g, asn); imb != 1.0 {
+		t.Fatalf("imbalance = %v, want 1.0", imb)
+	}
+	// Move one leaf next to the hub: partition 0 now carries 11 of 20.
+	asn.Assign(graph.VertexID(1), 0)
+	if imb := EdgeImbalance(g, asn); imb != 1.1 {
+		t.Fatalf("imbalance = %v, want 1.1", imb)
+	}
+}
+
+func TestEdgeImbalanceEmpty(t *testing.T) {
+	g := graph.NewUndirected(0)
+	a := partition.NewAssignment(0, 3)
+	if EdgeImbalance(g, a) != 0 {
+		t.Fatal("empty graph must report zero edge imbalance")
+	}
+}
+
+func TestBalanceEdgesKeepsEdgeLoadBounded(t *testing.T) {
+	// On a hub-heavy power-law graph, the edge-balanced extension must
+	// keep the degree-sum per partition within the capacity factor even
+	// as it reduces cuts. (Vertex-balanced mode has no such guarantee.)
+	g := gen.HolmeKim(3000, 8, 0.1, 3)
+	asn := partition.Random(g, 6, 3)
+	cfg := DefaultConfig(6, 3)
+	cfg.BalanceEdges = true
+	cfg.RecordEvery = 0
+	p, err := New(g, asn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := partition.CutRatio(g, asn.Clone())
+	startImb := EdgeImbalance(g, p.Assignment())
+	for i := 0; i < 80 && !p.Converged(); i++ {
+		p.Step()
+		// The quota rule in degree units: a partition's edge load never
+		// exceeds max(start load, degree capacity).
+		imb := EdgeImbalance(g, p.Assignment())
+		if imb > startImb+0.001 && imb > 1.12 {
+			t.Fatalf("iteration %d: edge imbalance %.3f exceeded both start %.3f and cap band",
+				i, imb, startImb)
+		}
+	}
+	after := p.CutRatio()
+	if after >= before {
+		t.Fatalf("edge-balanced mode did not reduce cuts: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestDisableQuotasCausesDensification(t *testing.T) {
+	// The ablation the quotas exist to prevent (Section 2.2): on a
+	// connected graph with small k, unquota'd greedy migration cascades —
+	// one partition swallows the entire graph (imbalance = k), because
+	// total colocation trivially minimises the cut.
+	g := gen.HolmeKim(1500, 6, 0.1, 1)
+	run := func(disable bool) float64 {
+		cfg := DefaultConfig(3, 1)
+		cfg.DisableQuotas = disable
+		cfg.RecordEvery = 0
+		cfg.MaxIterations = 300
+		p, err := New(g.Clone(), partition.Random(g, 3, 1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run()
+		return partition.Imbalance(p.Assignment())
+	}
+	with := run(false)
+	without := run(true)
+	if with > 1.15 {
+		t.Fatalf("quotas on: imbalance %.3f above capacity band", with)
+	}
+	if without < 2.5 {
+		t.Fatalf("quotas off: imbalance %.3f — expected near-total densification (≈3.0)", without)
+	}
+}
+
+func TestBalanceEdgesDynamic(t *testing.T) {
+	// Edge-balance mode must survive graph mutations (loads recomputed).
+	g := gen.Cube3D(6)
+	cfg := DefaultConfig(4, 1)
+	cfg.BalanceEdges = true
+	cfg.RecordEvery = 0
+	p, err := New(g, partition.Random(g, 4, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+	burst := gen.ForestFireExpansion(g, 20, gen.DefaultForestFire(), 2)
+	p.ApplyBatch(burst)
+	res := p.Run()
+	if !res.Converged {
+		t.Fatal("did not re-converge after burst in edge-balance mode")
+	}
+	if err := p.Assignment().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+)
+
+// The quality experiments operate on named workloads; in quick mode each
+// is replaced by a structurally identical miniature so the full suite runs
+// in seconds.
+
+// buildWorkload returns the named graph at experiment scale.
+func buildWorkload(name string, quick bool, seed int64) (*graph.Graph, error) {
+	if quick {
+		switch name {
+		case "64kcube", "1e4", "1e6":
+			return gen.Cube3D(9), nil // 729 vertices
+		case "3elt", "4elt":
+			return gen.Mesh2D(15, 40), nil
+		case "epinion", "wikivote", "plc10000", "plc50000":
+			return gen.HolmeKim(1200, 5, 0.1, seed), nil
+		case "plc1000":
+			return gen.HolmeKim(600, 5, 0.1, seed), nil
+		}
+		return nil, fmt.Errorf("no quick variant for workload %q", name)
+	}
+	d, err := gen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build(seed), nil
+}
+
+// table1Build builds a registry dataset for the Table 1 report, skipping
+// the heavyweight rows in quick mode.
+func table1Build(d gen.Dataset, quick bool, seed int64) (*graph.Graph, bool) {
+	if quick && d.PaperV > 20000 {
+		return nil, false
+	}
+	return d.Build(seed), true
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options {
+	return Options{Quick: true, Reps: 2, Seed: 1}
+}
+
+func TestRegistryAndDispatch(t *testing.T) {
+	ids := IDs()
+	want := []string{"table1", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("registry order %v, want %v", ids, want)
+		}
+	}
+	if _, err := Run("nope", quickOpt()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	res, err := Table1(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"table1", "64kcube", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 12 {
+		t.Fatalf("Table 1 must list 12 datasets, got %d rows", res.Tables[0].NumRows())
+	}
+	// The small full-scale rows must match published |V| exactly.
+	if res.Values["built.V.1e4"] != 10000 {
+		t.Errorf("1e4 |V| = %v", res.Values["built.V.1e4"])
+	}
+	if res.Values["built.E.1e4"] != 27900 {
+		t.Errorf("1e4 |E| = %v", res.Values["built.E.1e4"])
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: cut ratio statistically flat in s. Allow a loose band at
+	// miniature scale: max/min mean ratio below 2 on the mesh.
+	lo, hi := 1e9, 0.0
+	for _, s := range []string{"0.1", "0.3", "0.5", "0.8", "1.0"} {
+		v := res.Values["64kcube.cut.s="+s]
+		if v <= 0 {
+			t.Fatalf("missing cut value for s=%s", s)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi/lo > 2 {
+		t.Errorf("cut ratio not flat in s: min %.3f max %.3f", lo, hi)
+	}
+	// Convergence must take at least a few iterations everywhere.
+	if res.Values["64kcube.conv.s=0.5"] <= 1 {
+		t.Error("implausible instant convergence at s=0.5")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := Figure4(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"64kcube", "epinion"} {
+		// Paper: "significantly improves the cut ratio (by 0.2 to 0.4) ...
+		// for three out of four initial partition strategies". Assert a
+		// ≥0.15 improvement for HSH and RND at miniature scale.
+		for _, strat := range []string{"HSH", "RND"} {
+			ini := res.Values[g+"."+strat+".initial"]
+			fin := res.Values[g+"."+strat+".iterative"]
+			if ini-fin < 0.15 {
+				t.Errorf("%s/%s: improvement %.3f below the paper's 0.2–0.4 band", g, strat, ini-fin)
+			}
+		}
+		// DGR barely improves (same greedy nature).
+		dgrGap := res.Values[g+".DGR.initial"] - res.Values[g+".DGR.iterative"]
+		if dgrGap > 0.35 {
+			t.Errorf("%s: DGR improved by %.3f, paper says it barely improves", g, dgrGap)
+		}
+		if res.Values[g+".metis"] <= 0 {
+			t.Errorf("%s: missing METIS reference", g)
+		}
+		// Ordering: DGR-started runs end closest to the METIS line.
+		if res.Values[g+".DGR.iterative"] > res.Values[g+".HSH.iterative"]+0.05 {
+			t.Errorf("%s: DGR iterative %.3f should not be above HSH iterative %.3f",
+				g, res.Values[g+".DGR.iterative"], res.Values[g+".HSH.iterative"])
+		}
+		// METIS stays the lower bound of the field.
+		if res.Values[g+".metis"] > res.Values[g+".DGR.iterative"]+0.1 {
+			t.Errorf("%s: METIS %.3f above DGR iterative %.3f — reference line implausible",
+				g, res.Values[g+".metis"], res.Values[g+".DGR.iterative"])
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res, err := Figure5(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Meshes must partition better than the dense power-law graphs for
+	// every strategy (paper: "FEMs generally get better results").
+	for _, strat := range []string{"DGR", "HSH", "MNN", "RND"} {
+		mesh := res.Values["1e4."+strat]
+		plc := res.Values["plc1000."+strat]
+		if mesh >= plc {
+			t.Errorf("%s: mesh cut %.3f not below plc cut %.3f", strat, mesh, plc)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := Figure6(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convergence time grows with size for meshes, sub-linearly: from
+	// 1000 to 9900 vertices (≈10×), time grows but by far less than 10×.
+	c1 := res.Values["mesh.conv.n=1000"]
+	c3 := res.Values["mesh.conv.n=9900"]
+	if c3 <= c1*0.8 {
+		t.Errorf("mesh convergence did not grow with size: %v -> %v", c1, c3)
+	}
+	if c3 > c1*10 {
+		t.Errorf("mesh convergence grew super-linearly: %v -> %v", c1, c3)
+	}
+	// Cut ratios stay in a sane band at every size.
+	for _, n := range []string{"1000", "3000", "9900"} {
+		for _, fam := range []string{"mesh", "plaw"} {
+			v := res.Values[fam+".cut.n="+n]
+			if v <= 0 || v >= 1 {
+				t.Errorf("%s n=%s: cut ratio %v out of band", fam, n, v)
+			}
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cuts must drop well below the hash initial (paper: ≈50 % reduction
+	// at 100 M scale; ≥25 % at the miniature scale of quick mode).
+	if res.Values["phaseA.cut"] > res.Values["initial.cut"]*0.75 {
+		t.Errorf("phase A cut %.3f vs initial %.3f: reduction below paper band",
+			res.Values["phaseA.cut"], res.Values["initial.cut"])
+	}
+	// Steady-state normalised time must beat the hash baseline.
+	if res.Values["phaseA.steady.time"] >= 1 {
+		t.Errorf("steady normalised time %.3f not below 1", res.Values["phaseA.steady.time"])
+	}
+	// The burst must be absorbed: final cut within a factor of the
+	// post-re-arrangement cut and steady time still below baseline.
+	if res.Values["final.cut"] > res.Values["phaseA.cut"]*2+0.05 {
+		t.Errorf("burst not absorbed: %.3f vs %.3f", res.Values["final.cut"], res.Values["phaseA.cut"])
+	}
+	if res.Values["phaseB.steady.time"] >= 1 {
+		t.Errorf("post-burst steady time %.3f not below 1", res.Values["phaseB.steady.time"])
+	}
+	if res.Values["migrations.total"] == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: adaptive mean superstep time well below static hash.
+	if res.Values["speedup"] < 1.2 {
+		t.Errorf("adaptive speedup %.2f below shape threshold", res.Values["speedup"])
+	}
+	// And with less variability.
+	if res.Values["adaptive.std.time"] >= res.Values["hash.std.time"]*1.5 {
+		t.Errorf("adaptive variability %.3f not improved vs hash %.3f",
+			res.Values["adaptive.std.time"], res.Values["hash.std.time"])
+	}
+	if res.Values["ticks"] <= 0 {
+		t.Error("no ticks recorded")
+	}
+	// The scheduled worker failure must have triggered exactly one
+	// checkpoint recovery (the paper's mid-afternoon dip).
+	if res.Values["recovery.dips"] != 1 {
+		t.Errorf("recovery.dips = %v, want 1", res.Values["recovery.dips"])
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wk := 1; wk <= 4; wk++ {
+		d := res.Values[sprintWeek(wk, "dynamic.cuts")]
+		s := res.Values[sprintWeek(wk, "static.cuts")]
+		if d <= 0 || s <= 0 {
+			t.Fatalf("week %d missing cut data (d=%v s=%v)", wk, d, s)
+		}
+		if d >= s {
+			t.Errorf("week %d: dynamic cuts %.3f not below static %.3f", wk, d, s)
+		}
+	}
+	// Time per iteration: dynamic below static in the final week (paper:
+	// consistently less than 50 %; we assert a conservative 80 %).
+	dt := res.Values[sprintWeek(4, "dynamic.time")]
+	st := res.Values[sprintWeek(4, "static.time")]
+	if dt >= st*0.8 {
+		t.Errorf("week 4: dynamic time %.3f not well below static %.3f", dt, st)
+	}
+}
+
+func sprintWeek(wk int, suffix string) string {
+	return "week" + string(rune('0'+wk)) + "." + suffix
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xdgp/internal/core"
+	"xdgp/internal/partition"
+	"xdgp/internal/stats"
+)
+
+// Figure1 reproduces the willingness-to-move study (Section 2.3): sweeping
+// s over (0,1] on the 64kcube mesh (panel A) and the epinions power-law
+// graph (panel B), 9 partitions, reporting convergence time and final cut
+// ratio. The paper's findings, which the shape checks assert: the cut
+// ratio is statistically flat in s, while convergence time suffers at both
+// extremes (too few migrations per iteration vs. neighbour chasing), with
+// s = 0.5 a good default.
+func Figure1(opt Options) (*Result, error) {
+	opt = opt.normalize(10)
+	res := newResult("fig1", "Effect of s on convergence time and number of cuts (k=9)")
+	sweep := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if opt.Quick {
+		sweep = []float64{0.1, 0.3, 0.5, 0.8, 1.0}
+	}
+	const k = 9
+	tb := stats.NewTable("graph", "s", "convergence time", "cut ratio")
+	for _, name := range []string{"64kcube", "epinion"} {
+		conv := stats.NewSeries("convergence-" + name)
+		cuts := stats.NewSeries("cuts-" + name)
+		for _, s := range sweep {
+			var convs, ratios []float64
+			for r := 0; r < opt.Reps; r++ {
+				seed := opt.Seed + int64(r)
+				g, err := buildWorkload(name, opt.Quick, seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg := core.DefaultConfig(k, seed)
+				cfg.S = s
+				cfg.RecordEvery = 0
+				p, err := core.New(g, partition.Hash(g, k), cfg)
+				if err != nil {
+					return nil, err
+				}
+				r := p.Run()
+				convs = append(convs, float64(r.ConvergedAt))
+				ratios = append(ratios, r.FinalCutRatio)
+			}
+			cs, rs := stats.Summarize(convs), stats.Summarize(ratios)
+			conv.Add(s, cs.Mean)
+			cuts.Add(s, rs.Mean)
+			tb.AddRowf(name, s, cs.String(), rs.String())
+			res.Values[fmt.Sprintf("%s.conv.s=%.1f", name, s)] = cs.Mean
+			res.Values[fmt.Sprintf("%s.cut.s=%.1f", name, s)] = rs.Mean
+		}
+		res.Series = append(res.Series, conv, cuts)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.addNote("paper shape: cut ratio flat in s; convergence time worst at the extremes; s=0.5 recommended")
+	return res, nil
+}

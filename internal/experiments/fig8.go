@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"xdgp/internal/adaptive"
+	"xdgp/internal/apps"
+	"xdgp/internal/bsp"
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+	"xdgp/internal/stats"
+)
+
+// Figure8 reproduces the online-social-network use case (Section 4.3):
+// TunkRank running continuously over a day-long diurnal tweet stream, one
+// cluster with the adaptive algorithm and one with static hash
+// partitioning, both consuming the identical stream. Mid-afternoon a
+// worker failure triggers checkpoint recovery — the throughput/time dip
+// visible in the paper's plot. Paper shape: the adaptive cluster's mean
+// superstep time is several times lower (0.5 s vs 2.5 s) with visibly less
+// variance, because most neighbours become local.
+func Figure8(opt Options) (*Result, error) {
+	opt = opt.normalize(1)
+	res := newResult("fig8", "Twitter stream: superstep time, adaptive vs static hash (TunkRank)")
+
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Seed = opt.Seed
+	if opt.Quick {
+		cfg.Users = 4000
+		cfg.Hours = 8
+		cfg.PeakRate = 16
+		cfg.TroughRate = 4
+	}
+	const k = 9
+
+	run := func(adapt bool) (*stats.Series, *gen.TwitterStream, int, error) {
+		stream := gen.NewTwitterStream(cfg)
+		g := graph.NewDirected(cfg.Users)
+		asn := partition.NewAssignment(0, k)
+		e, err := bsp.NewEngine(g, asn, apps.NewTunkRank(), bsp.Config{
+			Workers: k, Seed: opt.Seed, CheckpointEvery: 12,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if adapt {
+			svc, err := adaptive.New(adaptive.DefaultConfig(opt.Seed))
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			e.SetRepartitioner(svc)
+		}
+		e.SetStream(stream)
+		// Worker failure two-thirds through the day (after a checkpoint).
+		e.ScheduleFailure(stream.NumTicks() * 2 / 3)
+		name := "superstep-time-hash"
+		if adapt {
+			name = "superstep-time-adaptive"
+		}
+		times := stats.NewSeries(name)
+		recoveries := 0
+		for i := 0; i < stream.NumTicks(); i++ {
+			st := e.RunSuperstep()
+			times.Add(float64(i), st.Time)
+			if st.Recovered {
+				recoveries++
+			}
+		}
+		return times, stream, recoveries, nil
+	}
+
+	adaptiveTimes, stream, recoveries, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	hashTimes, _, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+
+	rates := stats.NewSeries("tweets-per-second")
+	for i, r := range stream.Rates() {
+		rates.Add(float64(i), r)
+	}
+	res.Series = append(res.Series, rates, hashTimes, adaptiveTimes)
+
+	// Steady-state statistics, skipping the warm-up third.
+	warm := len(hashTimes.Y) / 3
+	hs := stats.Summarize(hashTimes.Y[warm:])
+	as := stats.Summarize(adaptiveTimes.Y[warm:])
+	tb := stats.NewTable("cluster", "mean superstep time", "std dev", "p90")
+	tb.AddRowf("static hash", hs.Mean, hs.StdDev, stats.Quantile(hashTimes.Y[warm:], 0.9))
+	tb.AddRowf("adaptive", as.Mean, as.StdDev, stats.Quantile(adaptiveTimes.Y[warm:], 0.9))
+	res.Tables = append(res.Tables, tb)
+
+	res.Values["hash.mean.time"] = hs.Mean
+	res.Values["adaptive.mean.time"] = as.Mean
+	res.Values["hash.std.time"] = hs.StdDev
+	res.Values["adaptive.std.time"] = as.StdDev
+	if as.Mean > 0 {
+		res.Values["speedup"] = hs.Mean / as.Mean
+	}
+	res.Values["ticks"] = float64(stream.NumTicks())
+	res.Values["recovery.dips"] = float64(recoveries)
+
+	res.addNote("paper shape: adaptive mean superstep time several times below static hash, with less variance; one recovery dip mid-afternoon")
+	return res, nil
+}

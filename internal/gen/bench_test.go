@@ -1,0 +1,53 @@
+package gen
+
+import "testing"
+
+func BenchmarkMesh3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Cube3D(20)
+	}
+}
+
+func BenchmarkHolmeKim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HolmeKim(5000, 6, 0.1, int64(i))
+	}
+}
+
+func BenchmarkForestFire(b *testing.B) {
+	g := Cube3D(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForestFireExpansion(g, 100, DefaultForestFire(), int64(i))
+	}
+}
+
+func BenchmarkTwitterStreamTick(b *testing.B) {
+	cfg := DefaultTwitterConfig()
+	cfg.Users = 5000
+	s := NewTwitterStream(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Done() {
+			b.StopTimer()
+			s = NewTwitterStream(cfg)
+			b.StartTimer()
+		}
+		s.Next()
+	}
+}
+
+func BenchmarkCDRStreamTick(b *testing.B) {
+	cfg := DefaultCDRConfig()
+	cfg.BaseUsers = 5000
+	s := NewCDRStream(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Done() {
+			b.StopTimer()
+			s = NewCDRStream(cfg)
+			b.StartTimer()
+		}
+		s.Next()
+	}
+}

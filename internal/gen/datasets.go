@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"fmt"
+
+	"xdgp/internal/graph"
+)
+
+// Dataset describes one row of the paper's Table 1 and how this repository
+// regenerates it. PaperV/PaperE are the published sizes; Build constructs
+// the (stand-in) graph. Scale documents any size substitution for datasets
+// that are proprietary, download-only, or too large for a laptop (see
+// DESIGN.md §5).
+type Dataset struct {
+	Name   string
+	Type   string // "FEM" or "pwlaw"
+	Source string // paper's source column
+	PaperV int
+	PaperE int
+	Scale  string // empty when reproduced at full published size
+	Build  func(seed int64) *graph.Graph
+}
+
+// Registry returns every Table 1 dataset in the paper's order. Builds are
+// deterministic for a given seed; synthetic FEMs ignore the seed entirely.
+func Registry() []Dataset {
+	return []Dataset{
+		{
+			Name: "1e4", Type: "FEM", Source: "synth",
+			PaperV: 10000, PaperE: 27900,
+			Build: func(int64) *graph.Graph { return Mesh3D(10, 10, 100) },
+		},
+		{
+			Name: "64kcube", Type: "FEM", Source: "synth",
+			PaperV: 64000, PaperE: 187200,
+			Build: func(int64) *graph.Graph { return Cube3D(40) },
+		},
+		{
+			Name: "1e6", Type: "FEM", Source: "synth",
+			PaperV: 1000000, PaperE: 2970000,
+			Build: func(int64) *graph.Graph { return Cube3D(100) },
+		},
+		{
+			Name: "1e8", Type: "FEM", Source: "synth",
+			PaperV: 100000000, PaperE: 297000000,
+			Scale: "built at 1:100 (1e6 vertices); 1e8 needs a 3 TB cluster",
+			Build: func(int64) *graph.Graph { return Cube3D(100) },
+		},
+		{
+			Name: "3elt", Type: "FEM", Source: "[34] Walshaw archive",
+			PaperV: 4720, PaperE: 13722,
+			Scale: "triangulated-mesh stand-in matched to |V|,|E| (offline)",
+			Build: func(int64) *graph.Graph { return Mesh2D(25, 189) },
+		},
+		{
+			Name: "4elt", Type: "FEM", Source: "[34] Walshaw archive",
+			PaperV: 15606, PaperE: 45878,
+			Scale: "triangulated-mesh stand-in matched to |V|,|E| (offline)",
+			Build: func(int64) *graph.Graph { return Mesh2D(36, 434) },
+		},
+		{
+			Name: "plc1000", Type: "pwlaw", Source: "synth",
+			PaperV: 1000, PaperE: 9879,
+			Build: func(seed int64) *graph.Graph { return HolmeKim(1000, 10, 0.1, seed) },
+		},
+		{
+			Name: "plc10000", Type: "pwlaw", Source: "synth",
+			PaperV: 10000, PaperE: 129774,
+			Build: func(seed int64) *graph.Graph { return HolmeKim(10000, 13, 0.1, seed) },
+		},
+		{
+			Name: "plc50000", Type: "pwlaw", Source: "synth",
+			PaperV: 50000, PaperE: 1249061,
+			Build: func(seed int64) *graph.Graph { return HolmeKim(50000, 25, 0.1, seed) },
+		},
+		{
+			Name: "wikivote", Type: "pwlaw", Source: "[19] SNAP",
+			PaperV: 7115, PaperE: 103689,
+			Scale: "Holme–Kim stand-in matched to |V|,|E| (offline)",
+			Build: func(seed int64) *graph.Graph { return HolmeKim(7115, 15, 0.1, seed) },
+		},
+		{
+			Name: "epinion", Type: "pwlaw", Source: "[30] trust network",
+			PaperV: 75879, PaperE: 508837,
+			Scale: "Holme–Kim stand-in matched to |V|,|E| (offline)",
+			Build: func(seed int64) *graph.Graph { return HolmeKim(75879, 7, 0.1, seed) },
+		},
+		{
+			Name: "uk-2007-05-u", Type: "pwlaw", Source: "[2] LAW",
+			PaperV: 1000000, PaperE: 41247159,
+			Scale: "built at 1:20 (50k vertices, same avg degree 82)",
+			Build: func(seed int64) *graph.Graph { return HolmeKim(50000, 41, 0.1, seed) },
+		},
+	}
+}
+
+// ByName returns the registry entry with the given name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Registry() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// Names lists every dataset name in registry order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, d := range reg {
+		names[i] = d.Name
+	}
+	return names
+}

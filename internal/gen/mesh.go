@@ -1,0 +1,93 @@
+// Package gen contains deterministic, seeded generators for every dataset
+// family the paper evaluates on: 3-d cubic finite-element meshes (cardiac
+// tissue), 2-d triangulated FEM meshes (3elt/4elt stand-ins), Holme–Kim
+// power-law-cluster graphs (the networkX generator the paper uses),
+// directed scale-free graphs (wiki-Vote / epinions / uk-2007 stand-ins),
+// forest-fire expansions for dynamic bursts, and the synthetic Twitter and
+// call-detail-record event streams used by the system experiments.
+package gen
+
+import "xdgp/internal/graph"
+
+// Mesh3D builds an nx × ny × nz cubic lattice with 6-neighbourhood
+// connectivity, the structure of the paper's synthetic cardiac FEMs
+// ("3d regular cubic structure, modelling the electric connections between
+// heart cells"). Vertex (x,y,z) has ID x + nx·(y + ny·z); the edge count is
+// (nx−1)·ny·nz + nx·(ny−1)·nz + nx·ny·(nz−1).
+func Mesh3D(nx, ny, nz int) *graph.Graph {
+	n := nx * ny * nz
+	g := graph.NewUndirected(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	id := func(x, y, z int) graph.VertexID {
+		return graph.VertexID(x + nx*(y+ny*z))
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					g.AddEdge(id(x, y, z), id(x+1, y, z))
+				}
+				if y+1 < ny {
+					g.AddEdge(id(x, y, z), id(x, y+1, z))
+				}
+				if z+1 < nz {
+					g.AddEdge(id(x, y, z), id(x, y, z+1))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Cube3D builds an n × n × n Mesh3D; Cube3D(40) is the paper's "64kcube"
+// (64 000 vertices, 187 200 edges).
+func Cube3D(n int) *graph.Graph { return Mesh3D(n, n, n) }
+
+// Mesh2D builds a w × h grid triangulated with one diagonal per cell,
+// giving the irregular-triangle character of the Walshaw 2-d FEM meshes
+// (3elt, 4elt) that the paper includes. Vertex (x,y) has ID x + w·y; the
+// edge count is (w−1)·h + w·(h−1) + (w−1)·(h−1).
+func Mesh2D(w, h int) *graph.Graph {
+	n := w * h
+	g := graph.NewUndirected(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	id := func(x, y int) graph.VertexID { return graph.VertexID(x + w*y) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+			if x+1 < w && y+1 < h {
+				g.AddEdge(id(x, y), id(x+1, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// MeshFamily returns a 3-d mesh with approximately n vertices, keeping the
+// aspect ratio cubic, used by the paper's scalability sweep (Figure 6,
+// meshes from 1 000 to 300 000 vertices). The exact vertex count is the
+// largest product a·b·c ≤ n with near-equal factors.
+func MeshFamily(n int) *graph.Graph {
+	side := 1
+	for (side+1)*(side+1)*(side+1) <= n {
+		side++
+	}
+	// Grow the last dimensions while staying ≤ n to land closer to n.
+	nx, ny, nz := side, side, side
+	for (nx+1)*ny*nz <= n {
+		nx++
+	}
+	for nx*(ny+1)*nz <= n {
+		ny++
+	}
+	return Mesh3D(nx, ny, nz)
+}

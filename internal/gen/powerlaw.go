@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"xdgp/internal/graph"
+)
+
+// BarabasiAlbert builds an undirected preferential-attachment graph with n
+// vertices where every new vertex attaches m edges to existing vertices
+// chosen proportionally to degree. It is the base of the power-law family.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewUndirected(n)
+	// repeated holds one entry per edge endpoint, so uniform sampling from
+	// it is degree-proportional sampling — the standard BA trick.
+	repeated := make([]graph.VertexID, 0, 2*m*n)
+	// Seed clique of m+1 vertices.
+	for i := 0; i <= m; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if g.AddEdge(graph.VertexID(i), graph.VertexID(j)) {
+				repeated = append(repeated, graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	for g.NumVertices() < n {
+		v := g.AddVertex()
+		added := 0
+		for tries := 0; added < m && tries < 50*m; tries++ {
+			t := repeated[rng.Intn(len(repeated))]
+			if g.AddEdge(v, t) {
+				repeated = append(repeated, v, t)
+				added++
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// HolmeKim builds a power-law-cluster graph following Holme & Kim (2002),
+// the algorithm behind networkX's powerlaw_cluster_graph that the paper
+// uses for its synthetic power-law datasets: preferential attachment with
+// probability (1−p) and triad formation (closing a triangle with a
+// neighbour of the previous target) with probability p. The paper's
+// configuration is average degree D = log|V| — i.e. m ≈ D/2 — and p = 0.1.
+func HolmeKim(n, m int, p float64, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewUndirected(n)
+	repeated := make([]graph.VertexID, 0, 2*m*n)
+	for i := 0; i <= m; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if g.AddEdge(graph.VertexID(i), graph.VertexID(j)) {
+				repeated = append(repeated, graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	for g.NumVertices() < n {
+		v := g.AddVertex()
+		var prev graph.VertexID = graph.NoVertex
+		added := 0
+		for tries := 0; added < m && tries < 50*m; tries++ {
+			var t graph.VertexID
+			if prev != graph.NoVertex && rng.Float64() < p {
+				// Triad formation: attach to a uniform neighbour of the
+				// previous preferential-attachment target.
+				nbrs := g.Neighbors(prev)
+				if len(nbrs) == 0 {
+					continue
+				}
+				t = nbrs[rng.Intn(len(nbrs))]
+			} else {
+				t = repeated[rng.Intn(len(repeated))]
+			}
+			if g.AddEdge(v, t) {
+				repeated = append(repeated, v, t)
+				prev = t
+				added++
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// PowerLawForSize builds the Holme–Kim graph the paper's scalability sweep
+// uses: n vertices with intended average degree D = ln n (so m = D/2,
+// minimum 2) and triad probability 0.1.
+func PowerLawForSize(n int, seed int64) *graph.Graph {
+	m := int(math.Round(math.Log(float64(n)) / 2))
+	if m < 2 {
+		m = 2
+	}
+	return HolmeKim(n, m, 0.1, seed)
+}
+
+// DirectedScaleFree builds a directed graph with power-law in-degree by
+// preferential attachment: each new vertex emits outDeg edges (drawn
+// geometrically with the given mean, minimum 1) towards targets sampled
+// proportionally to in-degree + 1. It provides the wiki-Vote, epinions and
+// uk-2007 stand-ins as well as the mention/call graph bases for the system
+// experiments.
+func DirectedScaleFree(n int, meanOutDeg float64, seed int64) *graph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewDirected(n)
+	repeated := make([]graph.VertexID, 0, int(meanOutDeg)*n+n)
+	v0 := g.AddVertex()
+	repeated = append(repeated, v0)
+	for g.NumVertices() < n {
+		v := g.AddVertex()
+		out := geometric(rng, meanOutDeg)
+		for e := 0; e < out; e++ {
+			t := repeated[rng.Intn(len(repeated))]
+			if g.AddEdge(v, t) {
+				repeated = append(repeated, t)
+			}
+		}
+		// Every vertex enters the target pool once so new vertices can be
+		// cited too (in-degree + 1 smoothing).
+		repeated = append(repeated, v)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// geometric samples a geometric variate with the given mean, minimum 1.
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Geometric on {1,2,...} with success probability 1/mean.
+	p := 1 / mean
+	u := rng.Float64()
+	k := 1 + int(math.Floor(math.Log(1-u)/math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	if k > 1000 {
+		k = 1000
+	}
+	return k
+}
+
+// Zipf returns a Zipf sampler over {0..n−1} with exponent s ≥ 1, used to
+// pick users in the Twitter and CDR streams (a few celebrities receive
+// most mentions/calls).
+func Zipf(rng *rand.Rand, s float64, n int) *rand.Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	return rand.NewZipf(rng, s, 1, uint64(n-1))
+}

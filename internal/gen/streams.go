@@ -1,0 +1,346 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"xdgp/internal/graph"
+)
+
+// TwitterConfig parameterises the synthetic mention stream standing in for
+// the paper's Twitter Streaming API capture (London, one full day). Each
+// tick corresponds to one aggregation window (the paper plots 10-minute
+// averages over 24 hours).
+//
+// Real mention graphs carry strong conversational locality — people mostly
+// mention people inside their own social circle — and that locality is
+// exactly what "get neighbours together" exploits. The generator models it
+// with fixed user communities: a mention stays inside the author's
+// community with probability IntraProb (targeting the community's own
+// celebrities, Zipf-distributed) and goes to a global celebrity otherwise.
+type TwitterConfig struct {
+	Users       int     // user population
+	Communities int     // number of fixed user communities
+	IntraProb   float64 // probability a mention stays in-community
+	Hours       float64 // stream length in simulated hours
+	TickMinutes float64 // aggregation window per tick
+	PeakRate    float64 // tweets/second at the diurnal peak
+	TroughRate  float64 // tweets/second at the nightly trough
+	ZipfS       float64 // Zipf exponent for mention popularity
+	Seed        int64
+}
+
+// DefaultTwitterConfig mirrors Figure 8's setting: a full day in 10-minute
+// windows with rates swinging between ≈10 and ≈50 tweets/second.
+func DefaultTwitterConfig() TwitterConfig {
+	return TwitterConfig{
+		Users:       20000,
+		Communities: 250,
+		IntraProb:   0.85,
+		Hours:       24,
+		TickMinutes: 10,
+		PeakRate:    50,
+		TroughRate:  10,
+		ZipfS:       1.3,
+		Seed:        42,
+	}
+}
+
+// TwitterStream produces one mutation batch per tick: directed mention
+// edges whose endpoints are created on first reference. It implements
+// graph.Stream.
+type TwitterStream struct {
+	cfg      TwitterConfig
+	rng      *rand.Rand
+	zipf     *rand.Zipf // global celebrity sampler
+	local    *rand.Zipf // within-community celebrity sampler
+	commSize int
+	tick     int
+	ticks    int
+	rates    []float64 // tweets/sec per tick, for plotting
+}
+
+// NewTwitterStream builds the stream; the rate curve is fixed up front so
+// that experiments can plot it alongside the measured superstep times.
+func NewTwitterStream(cfg TwitterConfig) *TwitterStream {
+	if cfg.Users < 2 {
+		cfg.Users = 2
+	}
+	if cfg.TickMinutes <= 0 {
+		cfg.TickMinutes = 10
+	}
+	if cfg.Communities < 1 {
+		cfg.Communities = 1
+	}
+	if cfg.Communities > cfg.Users {
+		cfg.Communities = cfg.Users
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	commSize := cfg.Users / cfg.Communities
+	if commSize < 1 {
+		commSize = 1
+	}
+	s := &TwitterStream{
+		cfg:      cfg,
+		rng:      rng,
+		zipf:     Zipf(rng, cfg.ZipfS, cfg.Users),
+		local:    Zipf(rng, cfg.ZipfS, commSize),
+		commSize: commSize,
+		ticks:    int(cfg.Hours * 60 / cfg.TickMinutes),
+	}
+	s.rates = make([]float64, s.ticks)
+	for i := range s.rates {
+		s.rates[i] = s.rateAt(float64(i) * cfg.TickMinutes / 60)
+	}
+	return s
+}
+
+// rateAt evaluates the diurnal tweets/second curve at hour h: a sinusoid
+// with its trough at 04:00 and peak at 16:00, plus small seeded noise.
+func (s *TwitterStream) rateAt(h float64) float64 {
+	phase := (h - 4) / 24 * 2 * math.Pi
+	base := (1 - math.Cos(phase)) / 2 // 0 at 04:00, 1 at 16:00
+	r := s.cfg.TroughRate + (s.cfg.PeakRate-s.cfg.TroughRate)*base
+	r *= 1 + 0.08*(s.rng.Float64()-0.5)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Rates returns the tweets/second value of every tick (the red line in
+// Figure 8). The slice is owned by the stream.
+func (s *TwitterStream) Rates() []float64 { return s.rates }
+
+// NumTicks returns the total number of ticks the stream will produce.
+func (s *TwitterStream) NumTicks() int { return s.ticks }
+
+// Next emits the mention batch for the current tick, or nil when the day
+// is over.
+func (s *TwitterStream) Next() graph.Batch {
+	if s.tick >= s.ticks {
+		return nil
+	}
+	rate := s.rates[s.tick]
+	s.tick++
+	n := int(rate * s.cfg.TickMinutes * 60)
+	batch := make(graph.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		author := graph.VertexID(s.rng.Intn(s.cfg.Users))
+		var target graph.VertexID
+		if s.rng.Float64() < s.cfg.IntraProb {
+			// In-community mention of a local celebrity.
+			commStart := int(author) / s.commSize * s.commSize
+			target = graph.VertexID(commStart + int(s.local.Uint64())%s.commSize)
+		} else {
+			target = graph.VertexID(s.zipf.Uint64())
+		}
+		if author == target {
+			continue
+		}
+		batch = append(batch, graph.Mutation{Kind: graph.MutAddEdge, U: author, V: target})
+	}
+	return batch
+}
+
+// CommunityOf returns the community index of a user, for tests.
+func (s *TwitterStream) CommunityOf(u graph.VertexID) int { return int(u) / s.commSize }
+
+// Done reports whether the simulated day has been fully consumed.
+func (s *TwitterStream) Done() bool { return s.tick >= s.ticks }
+
+var _ graph.Stream = (*TwitterStream)(nil)
+
+// CDRConfig parameterises the synthetic call-detail-record stream standing
+// in for the paper's one-month European-operator dataset (21 M vertices,
+// 132 M reciprocated ties, mean geodesic distance 9.4, 8 %/week additions,
+// 4 %/week deletions, replayed with a ×15 speed-up).
+//
+// Real call graphs are sparse with pronounced social communities (family,
+// workplace, town); the generator models them with subscriber communities:
+// a call stays inside the caller's community with probability IntraProb,
+// otherwise it reaches a globally popular (Zipf) subscriber.
+type CDRConfig struct {
+	BaseUsers    int     // population at stream start
+	Communities  int     // number of subscriber communities
+	IntraProb    float64 // probability a call stays in-community
+	Weeks        int     // stream length
+	TicksPerWeek int     // iteration granularity
+	CallsPerTick int     // call events per tick
+	AddPerWeek   float64 // fraction of users added per week (paper: 0.08)
+	DelPerWeek   float64 // fraction of users deleted per week (paper: 0.04)
+	InactiveTTL  int     // ticks of inactivity before removal (one week)
+	ZipfS        float64 // call-popularity skew
+	Seed         int64
+}
+
+// DefaultCDRConfig mirrors Figure 9's setting at laptop scale: 4 weeks,
+// 8 %/week additions and 4 %/week inactivity-driven deletions.
+func DefaultCDRConfig() CDRConfig {
+	return CDRConfig{
+		BaseUsers:    12000,
+		Communities:  150,
+		IntraProb:    0.85,
+		Weeks:        4,
+		TicksPerWeek: 28,
+		CallsPerTick: 2500,
+		AddPerWeek:   0.08,
+		DelPerWeek:   0.04,
+		InactiveTTL:  28,
+		ZipfS:        1.2,
+		Seed:         7,
+	}
+}
+
+// CDRStream emits one batch of call edges per tick, adds new subscribers at
+// the configured weekly rate, and removes subscribers that have been
+// inactive for longer than the TTL ("removing them if they were inactive
+// for more than one week"). It implements graph.Stream.
+type CDRStream struct {
+	cfg        CDRConfig
+	rng        *rand.Rand
+	tick       int
+	ticks      int
+	active     []graph.VertexID
+	activeIdx  map[graph.VertexID]int
+	lastActive map[graph.VertexID]int
+	community  map[graph.VertexID]int
+	members    [][]graph.VertexID // active members per community
+	nextID     graph.VertexID
+}
+
+// NewCDRStream builds the stream with its initial subscriber population.
+func NewCDRStream(cfg CDRConfig) *CDRStream {
+	if cfg.BaseUsers < 2 {
+		cfg.BaseUsers = 2
+	}
+	if cfg.TicksPerWeek <= 0 {
+		cfg.TicksPerWeek = 28
+	}
+	if cfg.InactiveTTL <= 0 {
+		cfg.InactiveTTL = cfg.TicksPerWeek
+	}
+	if cfg.Communities < 1 {
+		cfg.Communities = 1
+	}
+	s := &CDRStream{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		ticks:      cfg.Weeks * cfg.TicksPerWeek,
+		activeIdx:  make(map[graph.VertexID]int, cfg.BaseUsers),
+		lastActive: make(map[graph.VertexID]int, cfg.BaseUsers),
+		community:  make(map[graph.VertexID]int, cfg.BaseUsers),
+		members:    make([][]graph.VertexID, cfg.Communities),
+	}
+	s.active = make([]graph.VertexID, 0, cfg.BaseUsers*2)
+	for i := 0; i < cfg.BaseUsers; i++ {
+		s.addUser()
+	}
+	return s
+}
+
+func (s *CDRStream) addUser() graph.VertexID {
+	id := s.nextID
+	s.nextID++
+	s.activeIdx[id] = len(s.active)
+	s.active = append(s.active, id)
+	s.lastActive[id] = s.tick
+	c := s.rng.Intn(s.cfg.Communities)
+	s.community[id] = c
+	s.members[c] = append(s.members[c], id)
+	return id
+}
+
+func (s *CDRStream) removeUser(id graph.VertexID) {
+	idx, ok := s.activeIdx[id]
+	if !ok {
+		return
+	}
+	last := len(s.active) - 1
+	s.active[idx] = s.active[last]
+	s.activeIdx[s.active[idx]] = idx
+	s.active = s.active[:last]
+	delete(s.activeIdx, id)
+	delete(s.lastActive, id)
+	// Drop from the community membership list.
+	c := s.community[id]
+	delete(s.community, id)
+	m := s.members[c]
+	for i, u := range m {
+		if u == id {
+			m[i] = m[len(m)-1]
+			s.members[c] = m[:len(m)-1]
+			break
+		}
+	}
+}
+
+// NumTicks returns the total number of ticks the stream will produce.
+func (s *CDRStream) NumTicks() int { return s.ticks }
+
+// Week returns the zero-based week the given tick belongs to.
+func (s *CDRStream) Week(tick int) int { return tick / s.cfg.TicksPerWeek }
+
+// Next emits the batch for the current tick: new subscribers, call edges,
+// and inactivity removals.
+func (s *CDRStream) Next() graph.Batch {
+	if s.tick >= s.ticks {
+		return nil
+	}
+	t := s.tick
+	s.tick++
+	var batch graph.Batch
+
+	// Subscriber arrivals: AddPerWeek of the current population per week.
+	arrivals := int(float64(len(s.active)) * s.cfg.AddPerWeek / float64(s.cfg.TicksPerWeek))
+	if arrivals < 1 && s.rng.Float64() < float64(len(s.active))*s.cfg.AddPerWeek/float64(s.cfg.TicksPerWeek) {
+		arrivals = 1
+	}
+	for i := 0; i < arrivals; i++ {
+		id := s.addUser()
+		batch = append(batch, graph.Mutation{Kind: graph.MutAddVertex, U: id})
+	}
+
+	// Call events: caller uniform over active; callee in-community with
+	// probability IntraProb, else a globally popular (Zipf) subscriber.
+	// The paper's ties are reciprocated, so the call graph is undirected.
+	zipf := Zipf(s.rng, s.cfg.ZipfS, len(s.active))
+	for i := 0; i < s.cfg.CallsPerTick; i++ {
+		a := s.active[s.rng.Intn(len(s.active))]
+		var b graph.VertexID
+		if m := s.members[s.community[a]]; len(m) > 1 && s.rng.Float64() < s.cfg.IntraProb {
+			b = m[s.rng.Intn(len(m))]
+		} else {
+			b = s.active[int(zipf.Uint64())%len(s.active)]
+		}
+		if a == b {
+			continue
+		}
+		s.lastActive[a] = t
+		s.lastActive[b] = t
+		batch = append(batch, graph.Mutation{Kind: graph.MutAddEdge, U: a, V: b})
+	}
+
+	// Inactivity removals, capped near the configured weekly deletion rate.
+	maxDel := int(float64(len(s.active)) * s.cfg.DelPerWeek / float64(s.cfg.TicksPerWeek))
+	if maxDel < 1 {
+		maxDel = 1
+	}
+	removed := 0
+	for _, id := range append([]graph.VertexID(nil), s.active...) {
+		if removed >= maxDel {
+			break
+		}
+		if t-s.lastActive[id] > s.cfg.InactiveTTL {
+			s.removeUser(id)
+			batch = append(batch, graph.Mutation{Kind: graph.MutRemoveVertex, U: id})
+			removed++
+		}
+	}
+	return batch
+}
+
+// Done reports whether the simulated month has been fully consumed.
+func (s *CDRStream) Done() bool { return s.tick >= s.ticks }
+
+var _ graph.Stream = (*CDRStream)(nil)

@@ -1,0 +1,247 @@
+package gen
+
+import (
+	"testing"
+
+	"xdgp/internal/graph"
+)
+
+func TestTwitterStreamShape(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Users = 1000
+	s := NewTwitterStream(cfg)
+	if s.NumTicks() != 144 { // 24h in 10-minute windows
+		t.Fatalf("NumTicks = %d, want 144", s.NumTicks())
+	}
+	rates := s.Rates()
+	if len(rates) != 144 {
+		t.Fatalf("rates length %d", len(rates))
+	}
+	// Diurnal shape: 16:00 (tick 96) must be busier than 04:00 (tick 0).
+	if rates[96] <= rates[0] {
+		t.Fatalf("peak rate %.1f not above trough %.1f", rates[96], rates[0])
+	}
+	for _, r := range rates {
+		if r < 0 || r > cfg.PeakRate*1.2 {
+			t.Fatalf("rate %.1f out of range", r)
+		}
+	}
+}
+
+func TestTwitterStreamProducesMentions(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Users = 500
+	cfg.Hours = 1
+	s := NewTwitterStream(cfg)
+	g := graph.NewDirected(0)
+	total := 0
+	for !s.Done() {
+		b := s.Next()
+		total += len(b)
+		g.Apply(b)
+	}
+	if total == 0 {
+		t.Fatal("stream produced no mentions")
+	}
+	if g.NumEdges() == 0 || g.NumVertices() == 0 {
+		t.Fatal("applying stream left graph empty")
+	}
+	if g.NumVertices() > cfg.Users {
+		t.Fatalf("vertices %d exceed user population %d", g.NumVertices(), cfg.Users)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Next() != nil {
+		t.Fatal("exhausted stream must return nil")
+	}
+}
+
+func TestTwitterStreamDeterminism(t *testing.T) {
+	a := NewTwitterStream(DefaultTwitterConfig())
+	b := NewTwitterStream(DefaultTwitterConfig())
+	ba, bb := a.Next(), b.Next()
+	if len(ba) != len(bb) {
+		t.Fatalf("same seed produced different batch sizes: %d vs %d", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatal("same seed produced different batches")
+		}
+	}
+}
+
+func TestCDRStreamChurn(t *testing.T) {
+	cfg := DefaultCDRConfig()
+	cfg.BaseUsers = 2000
+	cfg.CallsPerTick = 400
+	s := NewCDRStream(cfg)
+	g := graph.NewUndirected(0)
+	adds, dels := 0, 0
+	for !s.Done() {
+		b := s.Next()
+		for _, mu := range b {
+			switch mu.Kind {
+			case graph.MutAddVertex:
+				adds++
+			case graph.MutRemoveVertex:
+				dels++
+			}
+		}
+		g.Apply(b)
+	}
+	if adds == 0 {
+		t.Fatal("CDR stream never added subscribers")
+	}
+	if dels == 0 {
+		t.Fatal("CDR stream never removed inactive subscribers")
+	}
+	// Weekly addition rate ≈ 8 %: over 4 weeks roughly a third of the base.
+	if adds < cfg.BaseUsers/6 || adds > cfg.BaseUsers {
+		t.Fatalf("adds = %d, outside plausible band for 8%%/week over 4 weeks", adds)
+	}
+	if dels >= adds*3 {
+		t.Fatalf("dels = %d implausibly high vs adds = %d", dels, adds)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDRStreamWeekIndex(t *testing.T) {
+	cfg := DefaultCDRConfig()
+	s := NewCDRStream(cfg)
+	if s.Week(0) != 0 {
+		t.Fatal("tick 0 is week 0")
+	}
+	if s.Week(cfg.TicksPerWeek) != 1 {
+		t.Fatal("first tick of second week must be week 1")
+	}
+	if s.NumTicks() != cfg.Weeks*cfg.TicksPerWeek {
+		t.Fatalf("NumTicks = %d", s.NumTicks())
+	}
+}
+
+func TestCDRStreamRemovedUsersStayRemoved(t *testing.T) {
+	cfg := DefaultCDRConfig()
+	cfg.BaseUsers = 300
+	cfg.CallsPerTick = 30
+	s := NewCDRStream(cfg)
+	removed := make(map[graph.VertexID]bool)
+	for !s.Done() {
+		for _, mu := range s.Next() {
+			switch mu.Kind {
+			case graph.MutRemoveVertex:
+				removed[mu.U] = true
+			case graph.MutAddEdge:
+				if removed[mu.U] || removed[mu.V] {
+					t.Fatalf("call issued for removed subscriber %v", mu)
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 12 {
+		t.Fatalf("registry has %d datasets, Table 1 lists 12", len(reg))
+	}
+	seen := make(map[string]bool)
+	for _, d := range reg {
+		if seen[d.Name] {
+			t.Errorf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Type != "FEM" && d.Type != "pwlaw" {
+			t.Errorf("%s: unknown type %q", d.Name, d.Type)
+		}
+		if d.PaperV <= 0 || d.PaperE <= 0 {
+			t.Errorf("%s: missing published sizes", d.Name)
+		}
+	}
+	if _, err := ByName("64kcube"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if len(Names()) != len(reg) {
+		t.Fatal("Names() length mismatch")
+	}
+}
+
+func TestDatasetBuildsMatchPaperWhereFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale dataset builds are slow")
+	}
+	for _, name := range []string{"1e4", "64kcube", "plc1000", "plc10000"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Build(1)
+		if d.Scale == "" && g.NumVertices() != d.PaperV {
+			t.Errorf("%s: |V| = %d, want %d", name, g.NumVertices(), d.PaperV)
+		}
+		// Edge counts for the synthetic power-law rows land within 2 %.
+		if de := relErr(g.NumEdges(), d.PaperE); de > 0.02 {
+			t.Errorf("%s: |E| = %d vs paper %d (%.1f%% off)", name, g.NumEdges(), d.PaperE, de*100)
+		}
+	}
+}
+
+func TestTwitterStreamCommunityStructure(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Users = 2000
+	cfg.Hours = 2
+	s := NewTwitterStream(cfg)
+	intra, total := 0, 0
+	for !s.Done() {
+		for _, mu := range s.Next() {
+			if mu.Kind != graph.MutAddEdge {
+				continue
+			}
+			total++
+			if s.CommunityOf(mu.U) == s.CommunityOf(mu.V) {
+				intra++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no mentions produced")
+	}
+	// IntraProb is 0.85; global-celebrity picks can also land in-community,
+	// so the measured fraction must be at least ≈0.75.
+	frac := float64(intra) / float64(total)
+	if frac < 0.7 {
+		t.Fatalf("intra-community mention fraction %.2f, want ≥0.7 (conversational locality)", frac)
+	}
+}
+
+func TestCDRStreamCommunityStructure(t *testing.T) {
+	cfg := DefaultCDRConfig()
+	cfg.BaseUsers = 2000
+	cfg.CallsPerTick = 500
+	cfg.Weeks = 1
+	s := NewCDRStream(cfg)
+	intra, total := 0, 0
+	for !s.Done() {
+		for _, mu := range s.Next() {
+			if mu.Kind != graph.MutAddEdge {
+				continue
+			}
+			total++
+			if s.community[mu.U] == s.community[mu.V] {
+				intra++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no calls produced")
+	}
+	frac := float64(intra) / float64(total)
+	if frac < 0.7 {
+		t.Fatalf("intra-community call fraction %.2f, want ≥0.7 (social locality)", frac)
+	}
+}

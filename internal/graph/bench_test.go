@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int) *Graph {
+	g := NewUndirected(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4*n; i++ {
+		g.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+	}
+	return g
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	g := NewUndirected(b.N + 1)
+	for i := 0; i <= b.N; i++ {
+		g.AddVertex()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdge(VertexID(i), VertexID(i+1))
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(VertexID(i%10000), VertexID((i*7)%10000))
+	}
+}
+
+func BenchmarkNeighborsScan(b *testing.B) {
+	g := benchGraph(10000)
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for _, w := range g.Neighbors(VertexID(i % 10000)) {
+			sum += int(w)
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkApplyChurnBatch(b *testing.B) {
+	g := benchGraph(10000)
+	batch := Batch{
+		{Kind: MutAddVertex, U: VertexID(g.NumSlots())},
+		{Kind: MutAddEdge, U: VertexID(g.NumSlots()), V: 0},
+		{Kind: MutRemoveVertex, U: VertexID(g.NumSlots())},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Apply(batch)
+	}
+}
+
+func BenchmarkRemoveVertexWithEdges(b *testing.B) {
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewUndirected(64)
+		center := g.AddVertex()
+		for j := 0; j < 32; j++ {
+			leaf := g.AddVertex()
+			g.AddEdge(center, leaf)
+		}
+		b.StartTimer()
+		g.RemoveVertex(center)
+		b.StopTimer()
+	}
+}

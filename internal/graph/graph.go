@@ -1,0 +1,435 @@
+// Package graph implements the in-memory dynamic graph store that every
+// other subsystem builds on. Graphs are simple (no self-loops, no parallel
+// edges), may be directed or undirected, and support streaming addition and
+// removal of vertices and edges — the dynamism at the heart of the paper.
+//
+// Vertices are identified by dense integer IDs. Removing a vertex frees its
+// ID for recycling, so long-running dynamic workloads (such as the paper's
+// month of call-detail records with weekly addition/deletion churn) do not
+// grow the vertex table without bound.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense and recycled after removal,
+// so they can index plain slices (assignment tables, per-vertex state).
+type VertexID int32
+
+// NoVertex is the sentinel returned when no vertex applies.
+const NoVertex VertexID = -1
+
+// Graph is a simple dynamic graph. The zero value is not usable; construct
+// with NewUndirected or NewDirected.
+//
+// Graph is not safe for concurrent mutation. The BSP engine gives each
+// worker exclusive ownership of its partition's adjacency, matching the
+// paper's shared-nothing worker model.
+type Graph struct {
+	directed bool
+	out      [][]VertexID // out-adjacency (the only adjacency when undirected)
+	in       [][]VertexID // in-adjacency; nil for undirected graphs
+	alive    []bool
+	free     []VertexID // recycled IDs, LIFO
+	n        int        // live vertices
+	m        int        // live edges (each undirected edge counted once)
+}
+
+// NewUndirected creates an empty undirected graph with capacity hints for
+// the expected number of vertices.
+func NewUndirected(vertexHint int) *Graph {
+	return &Graph{
+		out:   make([][]VertexID, 0, vertexHint),
+		alive: make([]bool, 0, vertexHint),
+	}
+}
+
+// NewDirected creates an empty directed graph with capacity hints for the
+// expected number of vertices.
+func NewDirected(vertexHint int) *Graph {
+	return &Graph{
+		directed: true,
+		out:      make([][]VertexID, 0, vertexHint),
+		in:       make([][]VertexID, 0, vertexHint),
+		alive:    make([]bool, 0, vertexHint),
+	}
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the number of live vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of live edges; an undirected edge counts once.
+func (g *Graph) NumEdges() int { return g.m }
+
+// NumSlots returns the size of the underlying vertex table: every live
+// VertexID is < NumSlots(). Callers use it to size ID-indexed arrays.
+func (g *Graph) NumSlots() int { return len(g.out) }
+
+// Has reports whether id is a live vertex.
+func (g *Graph) Has(id VertexID) bool {
+	return id >= 0 && int(id) < len(g.alive) && g.alive[id]
+}
+
+// AddVertex allocates a new vertex, recycling a freed ID if one is
+// available, and returns its ID.
+func (g *Graph) AddVertex() VertexID {
+	var id VertexID
+	if len(g.free) > 0 {
+		id = g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+		g.alive[id] = true
+	} else {
+		id = VertexID(len(g.out))
+		g.out = append(g.out, nil)
+		if g.directed {
+			g.in = append(g.in, nil)
+		}
+		g.alive = append(g.alive, true)
+	}
+	g.n++
+	return id
+}
+
+// EnsureVertex makes id a live vertex, growing the table as needed. It is
+// used by loaders and generators that pick their own IDs. Adding an ID that
+// is already live is a no-op.
+func (g *Graph) EnsureVertex(id VertexID) {
+	if id < 0 {
+		return
+	}
+	for int(id) >= len(g.out) {
+		g.out = append(g.out, nil)
+		if g.directed {
+			g.in = append(g.in, nil)
+		}
+		g.alive = append(g.alive, false)
+		g.free = append(g.free, VertexID(len(g.out)-1))
+	}
+	if !g.alive[id] {
+		// Remove id from the free list (it is there by construction).
+		for i, f := range g.free {
+			if f == id {
+				g.free[i] = g.free[len(g.free)-1]
+				g.free = g.free[:len(g.free)-1]
+				break
+			}
+		}
+		g.alive[id] = true
+		g.n++
+	}
+}
+
+// RemoveVertex deletes a vertex and all its incident edges. Removing a
+// vertex that is not live is a no-op.
+func (g *Graph) RemoveVertex(id VertexID) {
+	if !g.Has(id) {
+		return
+	}
+	// Detach from neighbours first.
+	for _, w := range g.out[id] {
+		if g.directed {
+			g.in[w] = removeOne(g.in[w], id)
+		} else {
+			g.out[w] = removeOne(g.out[w], id)
+		}
+		g.m--
+	}
+	if g.directed {
+		for _, w := range g.in[id] {
+			g.out[w] = removeOne(g.out[w], id)
+			g.m--
+		}
+		g.in[id] = nil
+	}
+	g.out[id] = nil
+	g.alive[id] = false
+	g.free = append(g.free, id)
+	g.n--
+}
+
+// HasEdge reports whether the edge (u,v) exists. For undirected graphs the
+// order of endpoints is irrelevant.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	if !g.Has(u) || !g.Has(v) {
+		return false
+	}
+	// Scan the shorter list for undirected graphs.
+	if !g.directed && len(g.out[v]) < len(g.out[u]) {
+		return contains(g.out[v], u)
+	}
+	return contains(g.out[u], v)
+}
+
+// AddEdge inserts the edge (u,v). Both endpoints must be live; self-loops
+// and duplicate edges are rejected. It reports whether the edge was added.
+func (g *Graph) AddEdge(u, v VertexID) bool {
+	if u == v || !g.Has(u) || !g.Has(v) || g.HasEdge(u, v) {
+		return false
+	}
+	g.out[u] = append(g.out[u], v)
+	if g.directed {
+		g.in[v] = append(g.in[v], u)
+	} else {
+		g.out[v] = append(g.out[v], u)
+	}
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the edge (u,v) if present and reports whether it did.
+func (g *Graph) RemoveEdge(u, v VertexID) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.out[u] = removeOne(g.out[u], v)
+	if g.directed {
+		g.in[v] = removeOne(g.in[v], u)
+	} else {
+		g.out[v] = removeOne(g.out[v], u)
+	}
+	g.m--
+	return true
+}
+
+// Neighbors returns the adjacency list of v: out-neighbours for directed
+// graphs, all neighbours for undirected ones. The returned slice is owned
+// by the graph and must not be mutated or retained across mutations.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	if !g.Has(v) {
+		return nil
+	}
+	return g.out[v]
+}
+
+// InNeighbors returns the in-adjacency of v for directed graphs; for
+// undirected graphs it is identical to Neighbors. The returned slice is
+// owned by the graph.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	if !g.Has(v) {
+		return nil
+	}
+	if g.directed {
+		return g.in[v]
+	}
+	return g.out[v]
+}
+
+// Degree returns the out-degree of v (full degree for undirected graphs).
+func (g *Graph) Degree(v VertexID) int {
+	if !g.Has(v) {
+		return 0
+	}
+	return len(g.out[v])
+}
+
+// InDegree returns the in-degree of v (same as Degree when undirected).
+func (g *Graph) InDegree(v VertexID) int {
+	if !g.Has(v) {
+		return 0
+	}
+	if g.directed {
+		return len(g.in[v])
+	}
+	return len(g.out[v])
+}
+
+// ForEachVertex calls fn for every live vertex in increasing ID order.
+func (g *Graph) ForEachVertex(fn func(VertexID)) {
+	for id := range g.out {
+		if g.alive[id] {
+			fn(VertexID(id))
+		}
+	}
+}
+
+// Vertices returns the live vertex IDs in increasing order.
+func (g *Graph) Vertices() []VertexID {
+	ids := make([]VertexID, 0, g.n)
+	g.ForEachVertex(func(v VertexID) { ids = append(ids, v) })
+	return ids
+}
+
+// ForEachEdge calls fn once per live edge. For undirected graphs each edge
+// is visited once with u < v; for directed graphs fn receives (from, to).
+func (g *Graph) ForEachEdge(fn func(u, v VertexID)) {
+	for id := range g.out {
+		if !g.alive[id] {
+			continue
+		}
+		u := VertexID(id)
+		for _, v := range g.out[id] {
+			if g.directed || u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		directed: g.directed,
+		out:      make([][]VertexID, len(g.out)),
+		alive:    append([]bool(nil), g.alive...),
+		free:     append([]VertexID(nil), g.free...),
+		n:        g.n,
+		m:        g.m,
+	}
+	for i, adj := range g.out {
+		if adj != nil {
+			c.out[i] = append([]VertexID(nil), adj...)
+		}
+	}
+	if g.directed {
+		c.in = make([][]VertexID, len(g.in))
+		for i, adj := range g.in {
+			if adj != nil {
+				c.in[i] = append([]VertexID(nil), adj...)
+			}
+		}
+	}
+	return c
+}
+
+// Undirected returns an undirected copy of the graph: each directed edge
+// becomes an undirected edge, reciprocal pairs collapse to one. Calling it
+// on an undirected graph returns a clone. Partitioning always operates on
+// the undirected structure, since a cut edge costs communication in both
+// directions.
+func (g *Graph) Undirected() *Graph {
+	if !g.directed {
+		return g.Clone()
+	}
+	u := NewUndirected(len(g.out))
+	for int(u.NumSlots()) < len(g.out) {
+		u.out = append(u.out, nil)
+		u.alive = append(u.alive, false)
+	}
+	for id := range g.out {
+		if g.alive[id] {
+			u.alive[id] = true
+			u.n++
+		} else {
+			u.free = append(u.free, VertexID(id))
+		}
+	}
+	g.ForEachEdge(func(a, b VertexID) { u.AddEdge(a, b) })
+	return u
+}
+
+// MaxDegree returns the maximum degree over live vertices.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	g.ForEachVertex(func(v VertexID) {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	})
+	return max
+}
+
+// AvgDegree returns the average (out-)degree over live vertices.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	if g.directed {
+		return float64(g.m) / float64(g.n)
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// SortAdjacency sorts every adjacency list in place. Generators call it
+// once after construction so that iteration order — and therefore every
+// seeded experiment — is deterministic regardless of construction order.
+func (g *Graph) SortAdjacency() {
+	for i := range g.out {
+		sortIDs(g.out[i])
+		if g.directed {
+			sortIDs(g.in[i])
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency (degree symmetry, edge
+// counts, liveness) and returns a descriptive error on the first violation.
+// Tests call it after mutation sequences.
+func (g *Graph) CheckInvariants() error {
+	liveCount := 0
+	edgeEnds := 0
+	for id := range g.out {
+		v := VertexID(id)
+		if !g.alive[id] {
+			if len(g.out[id]) != 0 {
+				return fmt.Errorf("dead vertex %d has out-edges", v)
+			}
+			if g.directed && len(g.in[id]) != 0 {
+				return fmt.Errorf("dead vertex %d has in-edges", v)
+			}
+			continue
+		}
+		liveCount++
+		for _, w := range g.out[id] {
+			if !g.Has(w) {
+				return fmt.Errorf("edge (%d,%d) points to dead vertex", v, w)
+			}
+			if w == v {
+				return fmt.Errorf("self-loop at %d", v)
+			}
+			if g.directed {
+				if !contains(g.in[w], v) {
+					return fmt.Errorf("missing in-edge for (%d,%d)", v, w)
+				}
+			} else {
+				if !contains(g.out[w], v) {
+					return fmt.Errorf("missing reverse edge for (%d,%d)", v, w)
+				}
+			}
+		}
+		edgeEnds += len(g.out[id])
+	}
+	if liveCount != g.n {
+		return fmt.Errorf("live count %d != n %d", liveCount, g.n)
+	}
+	wantEnds := g.m
+	if !g.directed {
+		wantEnds = 2 * g.m
+	}
+	if edgeEnds != wantEnds {
+		return fmt.Errorf("edge ends %d != expected %d (m=%d)", edgeEnds, wantEnds, g.m)
+	}
+	if len(g.free)+liveCount != len(g.out) {
+		return fmt.Errorf("free list %d + live %d != slots %d", len(g.free), liveCount, len(g.out))
+	}
+	return nil
+}
+
+func contains(list []VertexID, id VertexID) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// removeOne deletes the first occurrence of id from list, preserving the
+// remaining order is not required so it swaps with the tail.
+func removeOne(list []VertexID, id VertexID) []VertexID {
+	for i, x := range list {
+		if x == id {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+func sortIDs(ids []VertexID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := NewUndirected(4)
+	a := g.AddVertex()
+	b := g.AddVertex()
+	c := g.AddVertex()
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if !g.AddEdge(a, b) || !g.AddEdge(b, c) {
+		t.Fatal("AddEdge failed")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) {
+		t.Fatal("undirected edge must be visible from both sides")
+	}
+	if g.Degree(b) != 2 {
+		t.Fatalf("Degree(b) = %d, want 2", g.Degree(b))
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectSelfLoopAndDuplicate(t *testing.T) {
+	g := NewUndirected(2)
+	a := g.AddVertex()
+	b := g.AddVertex()
+	if g.AddEdge(a, a) {
+		t.Fatal("self-loop must be rejected")
+	}
+	if !g.AddEdge(a, b) {
+		t.Fatal("first edge must succeed")
+	}
+	if g.AddEdge(a, b) || g.AddEdge(b, a) {
+		t.Fatal("duplicate edge must be rejected")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRemoveVertexCleansEdges(t *testing.T) {
+	g := NewUndirected(3)
+	a, b, c := g.AddVertex(), g.AddVertex(), g.AddVertex()
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(a, c)
+	g.RemoveVertex(b)
+	if g.Has(b) {
+		t.Fatal("b should be gone")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (only a-c)", g.NumEdges())
+	}
+	if g.HasEdge(a, b) || g.HasEdge(c, b) {
+		t.Fatal("edges to removed vertex must be gone")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexIDRecycling(t *testing.T) {
+	g := NewUndirected(2)
+	a := g.AddVertex()
+	b := g.AddVertex()
+	g.RemoveVertex(a)
+	c := g.AddVertex()
+	if c != a {
+		t.Fatalf("expected recycled ID %d, got %d", a, c)
+	}
+	if g.NumSlots() != 2 {
+		t.Fatalf("NumSlots = %d, want 2", g.NumSlots())
+	}
+	_ = b
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureVertexGrowsTable(t *testing.T) {
+	g := NewUndirected(0)
+	g.EnsureVertex(5)
+	if !g.Has(5) || g.NumVertices() != 1 {
+		t.Fatalf("EnsureVertex(5) failed: has=%v n=%d", g.Has(5), g.NumVertices())
+	}
+	if g.NumSlots() != 6 {
+		t.Fatalf("NumSlots = %d, want 6", g.NumSlots())
+	}
+	// IDs 0..4 must be on the free list and reusable.
+	v := g.AddVertex()
+	if v >= 5 {
+		t.Fatalf("expected a recycled ID < 5, got %d", v)
+	}
+	g.EnsureVertex(5) // idempotent
+	if g.NumVertices() != 2 {
+		t.Fatalf("NumVertices = %d, want 2", g.NumVertices())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedEdges(t *testing.T) {
+	g := NewDirected(2)
+	a, b := g.AddVertex(), g.AddVertex()
+	if !g.AddEdge(a, b) {
+		t.Fatal("AddEdge failed")
+	}
+	if !g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Fatal("directed edge must be one-way")
+	}
+	if g.Degree(a) != 1 || g.InDegree(a) != 0 {
+		t.Fatalf("a out/in = %d/%d, want 1/0", g.Degree(a), g.InDegree(a))
+	}
+	if g.Degree(b) != 0 || g.InDegree(b) != 1 {
+		t.Fatalf("b out/in = %d/%d, want 0/1", g.Degree(b), g.InDegree(b))
+	}
+	// Reverse edge is a distinct edge.
+	if !g.AddEdge(b, a) {
+		t.Fatal("reciprocal edge must be allowed in digraphs")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedRemoveVertex(t *testing.T) {
+	g := NewDirected(3)
+	a, b, c := g.AddVertex(), g.AddVertex(), g.AddVertex()
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, a)
+	g.RemoveVertex(b)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedView(t *testing.T) {
+	g := NewDirected(3)
+	a, b, c := g.AddVertex(), g.AddVertex(), g.AddVertex()
+	g.AddEdge(a, b)
+	g.AddEdge(b, a) // reciprocal pair collapses
+	g.AddEdge(b, c)
+	u := g.Undirected()
+	if u.Directed() {
+		t.Fatal("view must be undirected")
+	}
+	if u.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (a-b collapsed)", u.NumEdges())
+	}
+	if u.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", u.NumVertices())
+	}
+	if err := u.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewUndirected(2)
+	a, b := g.AddVertex(), g.AddVertex()
+	g.AddEdge(a, b)
+	c := g.Clone()
+	c.RemoveEdge(a, b)
+	if !g.HasEdge(a, b) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.NumEdges() != 0 || g.NumEdges() != 1 {
+		t.Fatalf("edges: clone=%d orig=%d", c.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestForEachEdgeVisitsOnce(t *testing.T) {
+	g := NewUndirected(4)
+	ids := []VertexID{g.AddVertex(), g.AddVertex(), g.AddVertex(), g.AddVertex()}
+	g.AddEdge(ids[0], ids[1])
+	g.AddEdge(ids[1], ids[2])
+	g.AddEdge(ids[2], ids[3])
+	count := 0
+	g.ForEachEdge(func(u, v VertexID) {
+		if u >= v {
+			t.Errorf("undirected visit must have u < v, got (%d,%d)", u, v)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Fatalf("visited %d edges, want 3", count)
+	}
+}
+
+func TestAvgAndMaxDegree(t *testing.T) {
+	g := NewUndirected(3)
+	a, b, c := g.AddVertex(), g.AddVertex(), g.AddVertex()
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); got != 4.0/3.0 {
+		t.Fatalf("AvgDegree = %v, want 4/3", got)
+	}
+}
+
+// TestRandomMutationInvariants drives a random mutation sequence and checks
+// structural invariants after every step — the property that underpins the
+// dynamic experiments.
+func TestRandomMutationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewUndirected(0)
+	var live []VertexID
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // add vertex
+			live = append(live, g.AddVertex())
+		case op < 7 && len(live) >= 2: // add edge
+			u := live[rng.Intn(len(live))]
+			v := live[rng.Intn(len(live))]
+			g.AddEdge(u, v)
+		case op < 8 && len(live) > 0: // remove vertex
+			i := rng.Intn(len(live))
+			g.RemoveVertex(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case len(live) >= 2: // remove edge
+			u := live[rng.Intn(len(live))]
+			v := live[rng.Intn(len(live))]
+			g.RemoveEdge(u, v)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != len(live) {
+		t.Fatalf("NumVertices = %d, tracker says %d", g.NumVertices(), len(live))
+	}
+}
+
+// TestDegreeSumProperty: for any random undirected graph, the degree sum
+// equals 2|E|.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewUndirected(0)
+		n := 2 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			g.AddVertex()
+		}
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		sum := 0
+		g.ForEachVertex(func(v VertexID) { sum += g.Degree(v) })
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsOfDeadVertex(t *testing.T) {
+	g := NewUndirected(1)
+	v := g.AddVertex()
+	g.RemoveVertex(v)
+	if g.Neighbors(v) != nil || g.Degree(v) != 0 || g.InDegree(v) != 0 {
+		t.Fatal("dead vertex must report empty adjacency")
+	}
+	if g.Has(NoVertex) {
+		t.Fatal("NoVertex must never be live")
+	}
+}

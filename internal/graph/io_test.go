@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTripUndirected(t *testing.T) {
+	g := NewUndirected(0)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// Vertex 2..4 connected; add an isolated vertex to test preservation.
+	iso := g.AddVertex()
+
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertices: %d, want %d", back.NumVertices(), g.NumVertices())
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges: %d, want %d", back.NumEdges(), g.NumEdges())
+	}
+	if !back.Has(iso) {
+		t.Fatal("isolated vertex lost in round trip")
+	}
+	if !back.HasEdge(0, 1) || !back.HasEdge(3, 4) {
+		t.Fatal("edges lost in round trip")
+	}
+}
+
+func TestEdgeListRoundTripDirected(t *testing.T) {
+	g := NewDirected(0)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 3 {
+		t.Fatalf("edges: %d, want 3", back.NumEdges())
+	}
+	if !back.HasEdge(0, 1) || !back.HasEdge(1, 0) {
+		t.Fatal("reciprocal pair lost")
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# comment line\n\n0 1\n1 2\n# trailing\n"
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListBadInput(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), false); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 x\n"), false); err == nil {
+		t.Fatal("expected parse error on second field")
+	}
+}

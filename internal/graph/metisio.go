@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMetis writes an undirected graph in the METIS/Chaco .graph format
+// used by the Walshaw archive (the paper's 3elt/4elt source): a header
+// line "n m", then one line per vertex listing its 1-based neighbours.
+// Directed graphs are rejected — the format has no direction.
+func (g *Graph) WriteMetis(w io.Writer) error {
+	if g.directed {
+		return fmt.Errorf("graph: METIS format is undirected")
+	}
+	// The format has no holes: compact live vertices to 1..n.
+	ids := g.Vertices()
+	index := make(map[VertexID]int, len(ids))
+	for i, v := range ids {
+		index[v] = i + 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, v := range ids {
+		nbrs := g.Neighbors(v)
+		parts := make([]string, len(nbrs))
+		for i, u := range nbrs {
+			parts[i] = strconv.Itoa(index[u])
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMetis parses the METIS/Chaco .graph format into an undirected graph
+// with vertices 0..n−1. Comment lines beginning with '%' are skipped; the
+// optional fmt/weight fields of the header are rejected (this repository
+// only uses unweighted graphs).
+func ReadMetis(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line, err := nextMetisLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("metis: missing header: %w", err)
+	}
+	header := strings.Fields(line)
+	if len(header) < 2 {
+		return nil, fmt.Errorf("metis: header %q needs 'n m'", line)
+	}
+	if len(header) > 2 && header[2] != "0" && header[2] != "00" && header[2] != "000" {
+		return nil, fmt.Errorf("metis: weighted format %q not supported", header[2])
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("metis: bad vertex count %q", header[0])
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("metis: bad edge count %q", header[1])
+	}
+	g := NewUndirected(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	for v := 0; v < n; v++ {
+		line, err := nextMetisLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("metis: vertex %d: %w", v+1, err)
+		}
+		for _, f := range strings.Fields(line) {
+			u, err := strconv.Atoi(f)
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("metis: vertex %d: bad neighbour %q", v+1, f)
+			}
+			g.AddEdge(VertexID(v), VertexID(u-1))
+		}
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("metis: header claims %d edges, adjacency has %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// nextMetisLine returns the next non-comment line (possibly empty: an
+// isolated vertex has an empty adjacency line).
+func nextMetisLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

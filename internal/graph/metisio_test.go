@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetisRoundTrip(t *testing.T) {
+	g := NewUndirected(0)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 3)
+	// vertex 4 isolated
+	var buf bytes.Buffer
+	if err := g.WriteMetis(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 5 || back.NumEdges() != 4 {
+		t.Fatalf("round trip: |V|=%d |E|=%d", back.NumVertices(), back.NumEdges())
+	}
+	for _, e := range [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestMetisRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewUndirected(0)
+		n := 2 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			g.AddVertex()
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		var buf bytes.Buffer
+		if err := g.WriteMetis(&buf); err != nil {
+			return false
+		}
+		back, err := ReadMetis(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.ForEachEdge(func(u, v VertexID) {
+			if !back.HasEdge(u, v) {
+				ok = false
+			}
+		})
+		return ok && back.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetisRoundTripWithHoles(t *testing.T) {
+	// Removed vertices leave ID holes; the writer must compact them.
+	g := NewUndirected(0)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.RemoveVertex(1)
+	var buf bytes.Buffer
+	if err := g.WriteMetis(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 3 || back.NumEdges() != 1 {
+		t.Fatalf("|V|=%d |E|=%d, want 3/1", back.NumVertices(), back.NumEdges())
+	}
+}
+
+func TestMetisRejectsDirected(t *testing.T) {
+	g := NewDirected(0)
+	g.AddVertex()
+	if err := g.WriteMetis(&bytes.Buffer{}); err == nil {
+		t.Fatal("directed graphs must be rejected")
+	}
+}
+
+func TestReadMetisComments(t *testing.T) {
+	in := "% a comment\n3 2\n2\n1 3\n2\n"
+	g, err := ReadMetis(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadMetisErrors(t *testing.T) {
+	cases := []string{
+		"",                // no header
+		"x y\n",           // bad header
+		"2 1 011\n2\n1\n", // weighted unsupported
+		"2 5\n2\n1\n",     // edge count mismatch
+		"2 1\n7\n\n",      // neighbour out of range
+		"3 2\n2\n1\n",     // truncated adjacency
+	}
+	for _, in := range cases {
+		if _, err := ReadMetis(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package graph
+
+import "fmt"
+
+// MutationKind enumerates the structural changes a dynamic graph stream can
+// carry.
+type MutationKind int
+
+// Mutation kinds. Enum starts at one so the zero value is invalid.
+const (
+	MutAddVertex MutationKind = iota + 1
+	MutRemoveVertex
+	MutAddEdge
+	MutRemoveEdge
+)
+
+// String returns the mnemonic used in traces and error messages.
+func (k MutationKind) String() string {
+	switch k {
+	case MutAddVertex:
+		return "add-vertex"
+	case MutRemoveVertex:
+		return "remove-vertex"
+	case MutAddEdge:
+		return "add-edge"
+	case MutRemoveEdge:
+		return "remove-edge"
+	default:
+		return fmt.Sprintf("mutation(%d)", int(k))
+	}
+}
+
+// Mutation is one structural change. For vertex mutations only U is
+// meaningful; edge mutations use both endpoints. Streams carry explicit
+// vertex IDs so that replay is deterministic.
+type Mutation struct {
+	Kind MutationKind
+	U, V VertexID
+}
+
+// Batch is an ordered set of mutations applied between two iterations, the
+// granularity at which the paper's adaptive algorithm observes change.
+type Batch []Mutation
+
+// NumAdds returns how many vertices the batch adds.
+func (b Batch) NumAdds() int {
+	n := 0
+	for _, mu := range b {
+		if mu.Kind == MutAddVertex {
+			n++
+		}
+	}
+	return n
+}
+
+// NumEdgeAdds returns how many edges the batch adds.
+func (b Batch) NumEdgeAdds() int {
+	n := 0
+	for _, mu := range b {
+		if mu.Kind == MutAddEdge {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply executes the batch against g in order. Mutations referencing dead
+// or duplicate entities follow the Graph method semantics (no-ops), which
+// makes replaying overlapping streams safe. It returns the number of
+// mutations that changed the graph.
+func (g *Graph) Apply(b Batch) int {
+	applied := 0
+	for _, mu := range b {
+		switch mu.Kind {
+		case MutAddVertex:
+			if !g.Has(mu.U) {
+				g.EnsureVertex(mu.U)
+				applied++
+			}
+		case MutRemoveVertex:
+			if g.Has(mu.U) {
+				g.RemoveVertex(mu.U)
+				applied++
+			}
+		case MutAddEdge:
+			g.EnsureVertex(mu.U)
+			g.EnsureVertex(mu.V)
+			if g.AddEdge(mu.U, mu.V) {
+				applied++
+			}
+		case MutRemoveEdge:
+			if g.RemoveEdge(mu.U, mu.V) {
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+// Stream produces mutation batches, one per iteration tick. It abstracts
+// the paper's dynamic inputs: the forest-fire burst of Section 4.3, the
+// Twitter mention stream and the CDR call stream. Next returns nil when a
+// tick carries no change; Done reports stream exhaustion.
+type Stream interface {
+	// Next returns the batch for the next tick.
+	Next() Batch
+	// Done reports whether the stream has been fully consumed.
+	Done() bool
+}
+
+// SliceStream replays a fixed schedule of batches. It implements Stream.
+type SliceStream struct {
+	batches []Batch
+	pos     int
+}
+
+// NewSliceStream builds a stream that replays batches in order.
+func NewSliceStream(batches []Batch) *SliceStream {
+	return &SliceStream{batches: batches}
+}
+
+// Next returns the next scheduled batch, or nil after exhaustion.
+func (s *SliceStream) Next() Batch {
+	if s.pos >= len(s.batches) {
+		return nil
+	}
+	b := s.batches[s.pos]
+	s.pos++
+	return b
+}
+
+// Done reports whether all batches have been consumed.
+func (s *SliceStream) Done() bool { return s.pos >= len(s.batches) }
+
+var _ Stream = (*SliceStream)(nil)

@@ -1,0 +1,130 @@
+package graph
+
+import "testing"
+
+func TestApplyBatch(t *testing.T) {
+	g := NewUndirected(0)
+	batch := Batch{
+		{Kind: MutAddVertex, U: 0},
+		{Kind: MutAddVertex, U: 1},
+		{Kind: MutAddVertex, U: 2},
+		{Kind: MutAddEdge, U: 0, V: 1},
+		{Kind: MutAddEdge, U: 1, V: 2},
+	}
+	applied := g.Apply(batch)
+	if applied != 5 {
+		t.Fatalf("applied = %d, want 5", applied)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyIsIdempotentForDuplicates(t *testing.T) {
+	g := NewUndirected(0)
+	batch := Batch{
+		{Kind: MutAddVertex, U: 0},
+		{Kind: MutAddVertex, U: 0}, // duplicate
+		{Kind: MutAddEdge, U: 0, V: 1},
+		{Kind: MutAddEdge, U: 0, V: 1}, // duplicate
+	}
+	applied := g.Apply(batch)
+	// One effective vertex add + one effective edge add; duplicates are
+	// no-ops (the edge's on-demand creation of vertex 1 is not counted).
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestApplyEdgeCreatesEndpoints(t *testing.T) {
+	g := NewUndirected(0)
+	g.Apply(Batch{{Kind: MutAddEdge, U: 7, V: 9}})
+	if !g.Has(7) || !g.Has(9) || !g.HasEdge(7, 9) {
+		t.Fatal("edge mutation must create endpoints on demand")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRemovals(t *testing.T) {
+	g := NewUndirected(0)
+	g.Apply(Batch{
+		{Kind: MutAddEdge, U: 0, V: 1},
+		{Kind: MutAddEdge, U: 1, V: 2},
+	})
+	applied := g.Apply(Batch{
+		{Kind: MutRemoveEdge, U: 0, V: 1},
+		{Kind: MutRemoveVertex, U: 2},
+		{Kind: MutRemoveVertex, U: 2}, // already gone: no-op
+	})
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestBatchCounters(t *testing.T) {
+	b := Batch{
+		{Kind: MutAddVertex, U: 0},
+		{Kind: MutAddVertex, U: 1},
+		{Kind: MutAddEdge, U: 0, V: 1},
+		{Kind: MutRemoveVertex, U: 5},
+	}
+	if b.NumAdds() != 2 {
+		t.Errorf("NumAdds = %d, want 2", b.NumAdds())
+	}
+	if b.NumEdgeAdds() != 1 {
+		t.Errorf("NumEdgeAdds = %d, want 1", b.NumEdgeAdds())
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := NewSliceStream([]Batch{
+		{{Kind: MutAddVertex, U: 0}},
+		nil,
+		{{Kind: MutAddVertex, U: 1}},
+	})
+	if s.Done() {
+		t.Fatal("stream should not start done")
+	}
+	b1 := s.Next()
+	if len(b1) != 1 || b1[0].U != 0 {
+		t.Fatalf("unexpected first batch %v", b1)
+	}
+	if b := s.Next(); b != nil {
+		t.Fatalf("second batch should be nil, got %v", b)
+	}
+	s.Next()
+	if !s.Done() {
+		t.Fatal("stream should be done after three batches")
+	}
+	if s.Next() != nil {
+		t.Fatal("exhausted stream must return nil")
+	}
+}
+
+func TestMutationKindString(t *testing.T) {
+	kinds := map[MutationKind]string{
+		MutAddVertex:    "add-vertex",
+		MutRemoveVertex: "remove-vertex",
+		MutAddEdge:      "add-edge",
+		MutRemoveEdge:   "remove-edge",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if MutationKind(99).String() != "mutation(99)" {
+		t.Error("unknown kind should render numerically")
+	}
+}

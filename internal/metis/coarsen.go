@@ -1,0 +1,105 @@
+package metis
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// coarsen collapses wg one level using heavy-edge matching: vertices are
+// visited in random order and matched with the unmatched neighbour reached
+// by the heaviest edge. It returns the coarse graph and the fine→coarse
+// projection map.
+func coarsen(wg *wgraph, rng *rand.Rand) (*wgraph, []int32) {
+	n := wg.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+
+	coarseCount := int32(0)
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		// Find the heaviest-edge unmatched neighbour.
+		best := int32(-1)
+		bestW := int32(-1)
+		for _, e := range wg.adj[v] {
+			if match[e.to] == -1 && e.to != v && e.w > bestW {
+				best, bestW = e.to, e.w
+			}
+		}
+		if best != -1 {
+			match[v], match[best] = best, v
+			cmap[v] = coarseCount
+			cmap[best] = coarseCount
+		} else {
+			match[v] = v
+			cmap[v] = coarseCount
+		}
+		coarseCount++
+	}
+
+	coarse := &wgraph{
+		adj: make([][]wedge, coarseCount),
+		vw:  make([]int32, coarseCount),
+	}
+	for v := 0; v < n; v++ {
+		coarse.vw[cmap[v]] += wg.vw[v]
+	}
+	// Merge parallel edges with a scratch accumulator keyed by coarse id.
+	acc := make(map[int32]int32)
+	for cv := int32(0); cv < coarseCount; cv++ {
+		_ = cv
+	}
+	// Build adjacency per coarse vertex by scanning fine vertices grouped
+	// via cmap. A bucket pass keeps this O(E).
+	buckets := make([][]int32, coarseCount)
+	for v := 0; v < n; v++ {
+		buckets[cmap[v]] = append(buckets[cmap[v]], int32(v))
+	}
+	for cv := int32(0); cv < coarseCount; cv++ {
+		clear(acc)
+		for _, v := range buckets[cv] {
+			for _, e := range wg.adj[v] {
+				ct := cmap[e.to]
+				if ct != cv {
+					acc[ct] += e.w
+				}
+			}
+		}
+		lst := make([]wedge, 0, len(acc))
+		for to, w := range acc {
+			lst = append(lst, wedge{to: to, w: w})
+		}
+		// Map iteration order is random; sort so heap tie-breaking — and
+		// therefore the whole partitioning — is deterministic per seed.
+		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+		coarse.adj[cv] = lst
+	}
+	return coarse, cmap
+}
+
+// coarsenTo repeatedly coarsens wg until it has at most target vertices or
+// coarsening stalls (reduction < 10 %). It returns the level stack: the
+// graphs from finest to coarsest and the projection maps between
+// consecutive levels.
+func coarsenTo(wg *wgraph, target int, rng *rand.Rand) (levels []*wgraph, maps [][]int32) {
+	levels = []*wgraph{wg}
+	for levels[len(levels)-1].n() > target {
+		cur := levels[len(levels)-1]
+		coarse, cmap := coarsen(cur, rng)
+		if float64(coarse.n()) > 0.9*float64(cur.n()) {
+			break // matching stalled (e.g. star graphs)
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, cmap)
+	}
+	return levels, maps
+}

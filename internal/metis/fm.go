@@ -1,0 +1,200 @@
+package metis
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// gainEntry is a lazy priority-queue item for FM refinement; stale entries
+// (whose gain no longer matches the vertex's current gain) are skipped on
+// pop.
+type gainEntry struct {
+	v    int32
+	gain int64
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int               { return len(h) }
+func (h gainHeap) Less(i, j int) bool     { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)          { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)            { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any              { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *gainHeap) push(v int32, g int64) { heap.Push(h, gainEntry{v: v, gain: g}) }
+
+// fmRefine runs Fiduccia–Mattheyses passes on the bipartition part,
+// keeping side weights at or below maxW[0], maxW[1]. Each pass tentatively
+// moves every vertex once in best-gain order and rolls back to the best
+// prefix. Refinement stops when a pass yields no improvement.
+func fmRefine(wg *wgraph, part []uint8, maxW [2]int64, rng *rand.Rand) {
+	n := wg.n()
+	var w [2]int64
+	for v := 0; v < n; v++ {
+		w[part[v]] += int64(wg.vw[v])
+	}
+	gains := make([]int64, n)
+	locked := make([]bool, n)
+	computeGain := func(v int32) int64 {
+		var ext, int_ int64
+		for _, e := range wg.adj[v] {
+			if part[e.to] == part[v] {
+				int_ += int64(e.w)
+			} else {
+				ext += int64(e.w)
+			}
+		}
+		return ext - int_
+	}
+
+	// Rebalance first: projections from coarser levels (and greedy initial
+	// bisections) can overflow a side; move best-gain vertices off the
+	// overfull side until both sides are feasible.
+	for side := uint8(0); side < 2; side++ {
+		if w[side] <= maxW[side] {
+			continue
+		}
+		h := make(gainHeap, 0, n)
+		for v := int32(0); v < int32(n); v++ {
+			if part[v] == side {
+				gains[v] = computeGain(v)
+				h.push(v, gains[v])
+			}
+		}
+		for w[side] > maxW[side] && h.Len() > 0 {
+			it := heap.Pop(&h).(gainEntry)
+			v := it.v
+			if part[v] != side || it.gain != gains[v] {
+				continue
+			}
+			other := 1 - side
+			part[v] = other
+			w[side] -= int64(wg.vw[v])
+			w[other] += int64(wg.vw[v])
+			for _, e := range wg.adj[v] {
+				if part[e.to] == side {
+					gains[e.to] += 2 * int64(e.w)
+					h.push(e.to, gains[e.to])
+				}
+			}
+		}
+	}
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		for i := range locked {
+			locked[i] = false
+		}
+		h := make(gainHeap, 0, n)
+		for v := int32(0); v < int32(n); v++ {
+			gains[v] = computeGain(v)
+			h.push(v, gains[v])
+		}
+
+		type move struct {
+			v    int32
+			gain int64
+		}
+		moves := make([]move, 0, n)
+		var cum, bestCum int64
+		bestIdx := -1
+
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(gainEntry)
+			v := it.v
+			if locked[v] || it.gain != gains[v] {
+				continue // stale entry
+			}
+			from := part[v]
+			to := 1 - from
+			if w[to]+int64(wg.vw[v]) > maxW[to] {
+				continue // would overflow the destination side
+			}
+			// Apply tentative move.
+			part[v] = to
+			w[from] -= int64(wg.vw[v])
+			w[to] += int64(wg.vw[v])
+			locked[v] = true
+			cum += it.gain
+			moves = append(moves, move{v: v, gain: it.gain})
+			if cum > bestCum {
+				bestCum = cum
+				bestIdx = len(moves) - 1
+			}
+			// Update neighbour gains: an edge to v flips between internal
+			// and external, shifting the neighbour's gain by ±2w.
+			for _, e := range wg.adj[v] {
+				if locked[e.to] {
+					continue
+				}
+				if part[e.to] == to {
+					gains[e.to] -= 2 * int64(e.w)
+				} else {
+					gains[e.to] += 2 * int64(e.w)
+				}
+				h.push(e.to, gains[e.to])
+			}
+		}
+
+		// Roll back to the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			v := moves[i].v
+			to := part[v]
+			from := 1 - to
+			part[v] = from
+			w[to] -= int64(wg.vw[v])
+			w[from] += int64(wg.vw[v])
+			// Gains will be recomputed next pass; no need to fix here.
+		}
+		if bestCum <= 0 {
+			break // no improving prefix: converged
+		}
+	}
+	_ = rng
+}
+
+// growBisect produces an initial bipartition by greedy graph growing: a
+// random seed grows side 0, always absorbing the frontier vertex with the
+// highest gain, until side 0 reaches target0 weight.
+func growBisect(wg *wgraph, target0 int64, rng *rand.Rand) []uint8 {
+	n := wg.n()
+	part := make([]uint8, n)
+	for i := range part {
+		part[i] = 1
+	}
+	if n == 0 {
+		return part
+	}
+	gains := make([]int64, n)
+	inFrontier := make([]bool, n)
+	h := make(gainHeap, 0, n)
+	seed := int32(rng.Intn(n))
+	var w0 int64
+	add := func(v int32) {
+		part[v] = 0
+		w0 += int64(wg.vw[v])
+		for _, e := range wg.adj[v] {
+			if part[e.to] == 1 {
+				gains[e.to] += int64(e.w)
+				inFrontier[e.to] = true
+				h.push(e.to, gains[e.to])
+			}
+		}
+	}
+	add(seed)
+	for w0 < target0 && h.Len() > 0 {
+		it := heap.Pop(&h).(gainEntry)
+		v := it.v
+		if part[v] == 0 || it.gain != gains[v] {
+			continue
+		}
+		add(v)
+	}
+	// Disconnected graph: top up side 0 with arbitrary side-1 vertices.
+	for v := int32(0); v < int32(n) && w0 < target0; v++ {
+		if part[v] == 1 {
+			part[v] = 0
+			w0 += int64(wg.vw[v])
+		}
+	}
+	return part
+}

@@ -1,0 +1,232 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+func TestPartitionKWayValid(t *testing.T) {
+	g := gen.Cube3D(10) // 1000 vertices
+	for _, k := range []int{2, 3, 9} {
+		a, err := PartitionKWay(g, k, DefaultOptions(1))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if imb := partition.Imbalance(a); imb > 1.25 {
+			t.Errorf("k=%d: imbalance %.3f above tolerance", k, imb)
+		}
+	}
+}
+
+func TestPartitionKWayBeatsHashOnMesh(t *testing.T) {
+	g := gen.Cube3D(12)
+	hash := partition.CutRatio(g, partition.Hash(g, 9))
+	a, err := PartitionKWay(g, 9, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := partition.CutRatio(g, a)
+	if ml >= hash/2 {
+		t.Fatalf("multilevel cut %.3f should be far below hash %.3f", ml, hash)
+	}
+}
+
+func TestPartitionKWayBeatsGreedyOnMesh(t *testing.T) {
+	// METIS is the paper's quality benchmark: it should be at least as
+	// good as the streaming DGR heuristic on meshes.
+	g := gen.Cube3D(10)
+	dgr := partition.CutRatio(g, partition.LinearGreedy(g, 9, 1.10, 1))
+	a, err := PartitionKWay(g, 9, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := partition.CutRatio(g, a)
+	if ml > dgr*1.1 {
+		t.Fatalf("multilevel cut %.3f worse than DGR %.3f", ml, dgr)
+	}
+}
+
+func TestPartitionKWayPowerLaw(t *testing.T) {
+	g := gen.HolmeKim(3000, 5, 0.1, 3)
+	a, err := PartitionKWay(g, 9, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if imb := partition.Imbalance(a); imb > 1.3 {
+		t.Errorf("imbalance %.3f above tolerance", imb)
+	}
+	ratio := partition.CutRatio(g, a)
+	hash := partition.CutRatio(g, partition.Hash(g, 9))
+	if ratio >= hash {
+		t.Fatalf("multilevel %.3f not below hash %.3f on power-law", ratio, hash)
+	}
+}
+
+func TestPartitionKWayEdgeCases(t *testing.T) {
+	// k = 1: everything in partition 0, zero cut.
+	g := gen.Cube3D(4)
+	a, err := PartitionKWay(g, 1, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partition.CutEdges(g, a) != 0 {
+		t.Fatal("k=1 must have zero cut")
+	}
+	// Empty graph.
+	empty := graph.NewUndirected(0)
+	if _, err := PartitionKWay(empty, 4, DefaultOptions(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid arguments.
+	if _, err := PartitionKWay(g, 0, DefaultOptions(1)); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	bad := DefaultOptions(1)
+	bad.Imbalance = 0.5
+	if _, err := PartitionKWay(g, 2, bad); err == nil {
+		t.Fatal("imbalance < 1 must error")
+	}
+}
+
+func TestPartitionKWayMoreWaysThanVertices(t *testing.T) {
+	g := graph.NewUndirected(0)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	a, err := PartitionKWay(g, 8, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionDisconnectedGraph(t *testing.T) {
+	// Two disjoint cliques: the natural bisection should cut nothing.
+	g := graph.NewUndirected(0)
+	for i := 0; i < 8; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			g.AddEdge(graph.VertexID(i+4), graph.VertexID(j+4))
+		}
+	}
+	a, err := PartitionKWay(g, 2, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := partition.CutEdges(g, a); cut != 0 {
+		t.Fatalf("disjoint cliques cut = %d, want 0", cut)
+	}
+}
+
+func TestCoarsenPreservesWeight(t *testing.T) {
+	g := gen.Cube3D(6)
+	wg, _ := fromGraph(g)
+	rng := rand.New(rand.NewSource(1))
+	coarse, cmap := coarsen(wg, rng)
+	if coarse.totalVW() != wg.totalVW() {
+		t.Fatalf("coarse weight %d != fine weight %d", coarse.totalVW(), wg.totalVW())
+	}
+	if coarse.n() >= wg.n() {
+		t.Fatalf("coarsening did not shrink: %d -> %d", wg.n(), coarse.n())
+	}
+	for v, cv := range cmap {
+		if cv < 0 || int(cv) >= coarse.n() {
+			t.Fatalf("vertex %d maps to invalid coarse vertex %d", v, cv)
+		}
+	}
+}
+
+func TestCoarsenToTerminates(t *testing.T) {
+	// A star graph stalls heavy-edge matching quickly; coarsenTo must not
+	// loop forever.
+	g := graph.NewUndirected(0)
+	hub := g.AddVertex()
+	for i := 0; i < 500; i++ {
+		leaf := g.AddVertex()
+		g.AddEdge(hub, leaf)
+	}
+	wg, _ := fromGraph(g)
+	levels, maps := coarsenTo(wg, 10, rand.New(rand.NewSource(1)))
+	if len(levels) != len(maps)+1 {
+		t.Fatalf("levels/maps mismatch: %d vs %d", len(levels), len(maps))
+	}
+}
+
+func TestFMRefineImprovesRandomBisection(t *testing.T) {
+	g := gen.Cube3D(8)
+	wg, _ := fromGraph(g)
+	rng := rand.New(rand.NewSource(1))
+	part := make([]uint8, wg.n())
+	for i := range part {
+		part[i] = uint8(rng.Intn(2))
+	}
+	before := wg.cutWeight(part)
+	total := wg.totalVW()
+	maxW := [2]int64{total/2 + total/10, total/2 + total/10}
+	fmRefine(wg, part, maxW, rng)
+	after := wg.cutWeight(part)
+	if after >= before {
+		t.Fatalf("FM did not improve: %d -> %d", before, after)
+	}
+	// Balance must hold.
+	var w0 int64
+	for v, p := range part {
+		if p == 0 {
+			w0 += int64(wg.vw[v])
+		}
+	}
+	if w0 > maxW[0] || total-w0 > maxW[1] {
+		t.Fatalf("FM broke balance: w0=%d total=%d max=%v", w0, total, maxW)
+	}
+}
+
+func TestGrowBisectTargetsWeight(t *testing.T) {
+	g := gen.Cube3D(6)
+	wg, _ := fromGraph(g)
+	target := wg.totalVW() / 2
+	part := growBisect(wg, target, rand.New(rand.NewSource(1)))
+	var w0 int64
+	for v, p := range part {
+		if p == 0 {
+			w0 += int64(wg.vw[v])
+		}
+	}
+	if w0 < target {
+		t.Fatalf("side 0 weight %d below target %d", w0, target)
+	}
+	if w0 > target+target/2 {
+		t.Fatalf("side 0 weight %d far above target %d", w0, target)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := gen.Cube3D(6)
+	a1, err := PartitionKWay(g, 4, DefaultOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := PartitionKWay(g, 4, DefaultOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Vertices() {
+		if a1.Of(v) != a2.Of(v) {
+			t.Fatal("same seed must give identical partitionings")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package metis
+
+import (
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// Repartition is the "re-partition from scratch" baseline the paper
+// motivates against: when the graph changes, centralised systems recompute
+// the whole partitioning — "a costly process that effectively also
+// increases processing time". It computes a fresh multilevel k-way
+// partitioning and then *remaps* the new partition labels onto the old
+// ones (greedy maximum-overlap matching, the scratch-remap strategy of
+// ParMETIS) so that as few vertices as possible physically move.
+//
+// It returns the remapped assignment and the number of vertices whose
+// partition changed versus old — the migration volume a system would pay
+// to adopt the fresh partitioning.
+func Repartition(g *graph.Graph, k int, old *partition.Assignment, opts Options) (*partition.Assignment, int, error) {
+	fresh, err := PartitionKWay(g, k, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if old == nil || old.K() != k {
+		return fresh, g.NumVertices(), nil
+	}
+
+	// Overlap matrix: overlap[newLabel][oldLabel] = shared vertices.
+	overlap := make([][]int, k)
+	for i := range overlap {
+		overlap[i] = make([]int, k)
+	}
+	g.ForEachVertex(func(v graph.VertexID) {
+		np := fresh.Of(v)
+		op := old.Of(v)
+		if np != partition.None && op != partition.None {
+			overlap[np][op]++
+		}
+	})
+
+	// Greedy maximum-weight matching of new labels to old labels.
+	relabel := make([]partition.ID, k)
+	for i := range relabel {
+		relabel[i] = partition.None
+	}
+	usedOld := make([]bool, k)
+	assignedNew := make([]bool, k)
+	for round := 0; round < k; round++ {
+		bestNew, bestOld, bestW := -1, -1, -1
+		for np := 0; np < k; np++ {
+			if assignedNew[np] {
+				continue
+			}
+			for op := 0; op < k; op++ {
+				if usedOld[op] {
+					continue
+				}
+				if overlap[np][op] > bestW {
+					bestNew, bestOld, bestW = np, op, overlap[np][op]
+				}
+			}
+		}
+		if bestNew < 0 {
+			break
+		}
+		relabel[bestNew] = partition.ID(bestOld)
+		assignedNew[bestNew] = true
+		usedOld[bestOld] = true
+	}
+
+	remapped := partition.NewAssignment(g.NumSlots(), k)
+	moved := 0
+	g.ForEachVertex(func(v graph.VertexID) {
+		p := relabel[fresh.Of(v)]
+		remapped.Assign(v, p)
+		if p != old.Of(v) {
+			moved++
+		}
+	})
+	return remapped, moved, nil
+}

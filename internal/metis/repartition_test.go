@@ -1,0 +1,88 @@
+package metis
+
+import (
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/partition"
+)
+
+func TestRepartitionRemapMinimisesMoves(t *testing.T) {
+	g := gen.Cube3D(8)
+	// First partitioning.
+	first, err := PartitionKWay(g, 4, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repartition the *unchanged* graph with the same seed: the fresh
+	// partitioning equals the first up to label names, so remapping must
+	// bring moves to zero.
+	remapped, moved, err := Repartition(g, 4, first, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("repartitioning an unchanged graph moved %d vertices, want 0", moved)
+	}
+	if err := remapped.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepartitionAfterGrowth(t *testing.T) {
+	g := gen.Cube3D(8)
+	first, err := PartitionKWay(g, 4, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the graph 10 %, then repartition from scratch.
+	burst := gen.ForestFireExpansion(g, g.NumVertices()/10, gen.DefaultForestFire(), 2)
+	g.Apply(burst)
+	first.Grow(g.NumSlots()) // new vertices unassigned in `old`
+	remapped, moved, err := Repartition(g, 4, first, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remapped.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Quality matches a fresh run; moves stay well below |V| thanks to
+	// the remap (an unmatched relabelling would move ~3/4 of vertices).
+	if moved >= g.NumVertices()*3/4 {
+		t.Fatalf("remap moved %d of %d vertices — matching ineffective", moved, g.NumVertices())
+	}
+	ratio := partition.CutRatio(g, remapped)
+	if ratio > 0.3 {
+		t.Fatalf("repartitioned cut ratio %.3f implausibly high for a mesh", ratio)
+	}
+}
+
+func TestRepartitionNilOld(t *testing.T) {
+	g := gen.Cube3D(5)
+	asn, moved, err := Repartition(g, 4, nil, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != g.NumVertices() {
+		t.Fatalf("nil old: moved = %d, want all %d", moved, g.NumVertices())
+	}
+	if err := asn.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepartitionMismatchedK(t *testing.T) {
+	g := gen.Cube3D(5)
+	old := partition.Hash(g, 2)
+	asn, moved, err := Repartition(g, 4, old, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k changed: everything counts as moved, result is the fresh k=4 cut.
+	if moved != g.NumVertices() {
+		t.Fatalf("k-change: moved = %d, want all", moved)
+	}
+	if asn.K() != 4 {
+		t.Fatalf("k = %d, want 4", asn.K())
+	}
+}

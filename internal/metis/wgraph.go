@@ -1,0 +1,98 @@
+// Package metis implements a from-scratch multilevel k-way graph
+// partitioner in the METIS family (Karypis & Kumar): heavy-edge-matching
+// coarsening, greedy-graph-growing initial bisection, Fiduccia–Mattheyses
+// boundary refinement, and recursive bisection for k-way partitions. The
+// paper uses METIS as the centralised "best-of-breed" quality benchmark
+// (the dashed line of Figure 4); this package provides that reference
+// line without the external binary.
+package metis
+
+import (
+	"xdgp/internal/graph"
+)
+
+// wedge is a weighted edge endpoint in the internal multilevel
+// representation.
+type wedge struct {
+	to int32
+	w  int32
+}
+
+// wgraph is the weighted working graph used across coarsening levels.
+// Vertices are dense 0..n-1; vw holds vertex weights (collapsed original
+// vertices), adj holds weighted adjacency.
+type wgraph struct {
+	adj [][]wedge
+	vw  []int32
+}
+
+func (wg *wgraph) n() int { return len(wg.vw) }
+
+// totalVW returns the total vertex weight.
+func (wg *wgraph) totalVW() int64 {
+	var t int64
+	for _, w := range wg.vw {
+		t += int64(w)
+	}
+	return t
+}
+
+// fromGraph compacts the live vertices of g into a unit-weight wgraph and
+// returns the index→VertexID mapping.
+func fromGraph(g *graph.Graph) (*wgraph, []graph.VertexID) {
+	ids := g.Vertices()
+	index := make(map[graph.VertexID]int32, len(ids))
+	for i, v := range ids {
+		index[v] = int32(i)
+	}
+	wg := &wgraph{
+		adj: make([][]wedge, len(ids)),
+		vw:  make([]int32, len(ids)),
+	}
+	for i, v := range ids {
+		wg.vw[i] = 1
+		nbrs := g.Neighbors(v)
+		lst := make([]wedge, 0, len(nbrs))
+		for _, w := range nbrs {
+			lst = append(lst, wedge{to: index[w], w: 1})
+		}
+		wg.adj[i] = lst
+	}
+	return wg, ids
+}
+
+// subgraph extracts the induced weighted subgraph over the given vertex
+// indices and returns it with the local→parent index mapping.
+func (wg *wgraph) subgraph(vertices []int32) (*wgraph, []int32) {
+	local := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		local[v] = int32(i)
+	}
+	sub := &wgraph{
+		adj: make([][]wedge, len(vertices)),
+		vw:  make([]int32, len(vertices)),
+	}
+	for i, v := range vertices {
+		sub.vw[i] = wg.vw[v]
+		for _, e := range wg.adj[v] {
+			if li, ok := local[e.to]; ok {
+				sub.adj[i] = append(sub.adj[i], wedge{to: li, w: e.w})
+			}
+		}
+	}
+	return sub, append([]int32(nil), vertices...)
+}
+
+// cutWeight returns the total weight of edges crossing the bipartition
+// part (each edge counted once).
+func (wg *wgraph) cutWeight(part []uint8) int64 {
+	var cut int64
+	for v := range wg.adj {
+		for _, e := range wg.adj[v] {
+			if int32(v) < e.to && part[v] != part[e.to] {
+				cut += int64(e.w)
+			}
+		}
+	}
+	return cut
+}

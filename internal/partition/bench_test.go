@@ -1,0 +1,32 @@
+package partition
+
+import (
+	"testing"
+
+	"xdgp/internal/gen"
+)
+
+func BenchmarkHashAssign(b *testing.B) {
+	g := gen.Cube3D(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hash(g, 9)
+	}
+}
+
+func BenchmarkCutEdges(b *testing.B) {
+	g := gen.Cube3D(20)
+	a := Hash(g, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CutEdges(g, a)
+	}
+}
+
+func BenchmarkLinearGreedyStream(b *testing.B) {
+	g := gen.HolmeKim(5000, 6, 0.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LinearGreedy(g, 9, 1.10, 1)
+	}
+}

@@ -1,0 +1,181 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+)
+
+func TestHashVertexRangeProperty(t *testing.T) {
+	f := func(v int32, k uint8) bool {
+		kk := int(k%64) + 1
+		p := HashVertex(graph.VertexID(v), kk)
+		return p >= 0 && int(p) < kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashVertexDeterministic(t *testing.T) {
+	for v := graph.VertexID(0); v < 100; v++ {
+		if HashVertex(v, 9) != HashVertex(v, 9) {
+			t.Fatal("hash must be deterministic")
+		}
+	}
+}
+
+func TestHashSpreadsUniformly(t *testing.T) {
+	g := gen.Cube3D(10) // 1000 vertices
+	a := Hash(g, 9)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// With a good hash every partition holds 1000/9 ± 50 %.
+	for p, s := range a.Sizes() {
+		if s < 55 || s > 170 {
+			t.Errorf("partition %d has %d vertices (expected ≈111)", p, s)
+		}
+	}
+}
+
+func TestRandomIsBalanced(t *testing.T) {
+	g := gen.Cube3D(10)
+	a := Random(g, 9, 1)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin deal: sizes differ by at most one.
+	min, max := 1<<30, 0
+	for _, s := range a.Sizes() {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("RND sizes spread %d..%d, want within 1", min, max)
+	}
+}
+
+func TestLinearGreedyRespectsCapacity(t *testing.T) {
+	g := gen.Cube3D(10)
+	a := LinearGreedy(g, 9, 1.10, 1)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	caps := UniformCapacities(g.NumVertices(), 9, 1.10)
+	if !WithinCapacities(a, caps) {
+		t.Fatalf("DGR exceeded capacities: sizes=%v caps=%v", a.Sizes(), caps)
+	}
+}
+
+func TestLinearGreedyBeatsHashOnMesh(t *testing.T) {
+	g := gen.Cube3D(12)
+	hash := CutRatio(g, Hash(g, 9))
+	dgr := CutRatio(g, LinearGreedy(g, 9, 1.10, 1))
+	if dgr >= hash {
+		t.Fatalf("DGR cut %.3f not better than hash %.3f on a mesh", dgr, hash)
+	}
+}
+
+func TestMinNeighborsRespectsCapacity(t *testing.T) {
+	g := gen.HolmeKim(2000, 5, 0.1, 2)
+	a := MinNeighbors(g, 9, 1.10, 1)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	caps := UniformCapacities(g.NumVertices(), 9, 1.10)
+	if !WithinCapacities(a, caps) {
+		t.Fatalf("MNN exceeded capacities: sizes=%v caps=%v", a.Sizes(), caps)
+	}
+}
+
+func TestInitialDispatch(t *testing.T) {
+	g := gen.Cube3D(6)
+	for _, s := range Strategies() {
+		a, err := Initial(s, g, 9, 1.10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := Initial("XXX", g, 9, 1.10, 1); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	if _, err := Initial(HSH, g, 0, 1.10, 1); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestStrategiesOrder(t *testing.T) {
+	want := []Strategy{DGR, HSH, MNN, RND}
+	got := Strategies()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (paper's plotting order)", got, want)
+		}
+	}
+}
+
+func TestExtraGreedyStrategies(t *testing.T) {
+	g := gen.Cube3D(10)
+	caps := UniformCapacities(g.NumVertices(), 9, 1.10)
+	hash := CutRatio(g, Hash(g, 9))
+	for _, s := range []Strategy{UDG, EDG} {
+		a, err := Initial(s, g, 9, 1.10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !WithinCapacities(a, caps) {
+			t.Fatalf("%s exceeded capacities: %v", s, a.Sizes())
+		}
+		if cut := CutRatio(g, a); cut >= hash {
+			t.Errorf("%s cut %.3f not below hash %.3f on a mesh", s, cut, hash)
+		}
+	}
+	if len(AllStrategies()) != 6 {
+		t.Fatalf("AllStrategies = %v", AllStrategies())
+	}
+}
+
+func TestInitialSingletonPartition(t *testing.T) {
+	g := gen.Cube3D(4)
+	for _, s := range Strategies() {
+		a, err := Initial(s, g, 1, 1.10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if CutEdges(g, a) != 0 {
+			t.Fatalf("%s: k=1 must have zero cut", s)
+		}
+	}
+}
+
+func TestInitialOnIsolatedVertices(t *testing.T) {
+	g := graph.NewUndirected(0)
+	for i := 0; i < 10; i++ {
+		g.AddVertex()
+	}
+	for _, s := range Strategies() {
+		a, err := Initial(s, g, 3, 1.10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}

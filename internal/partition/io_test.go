@@ -1,0 +1,51 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+)
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	g := gen.Cube3D(5)
+	a := Hash(g, 4)
+	a.Unassign(3) // a hole must survive the round trip
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != a.K() || back.Slots() != a.Slots() {
+		t.Fatalf("shape mismatch: k=%d slots=%d", back.K(), back.Slots())
+	}
+	for i := 0; i < a.Slots(); i++ {
+		if back.Of(graph.VertexID(i)) != a.Of(graph.VertexID(i)) {
+			t.Fatalf("slot %d: %d != %d", i, back.Of(graph.VertexID(i)), a.Of(graph.VertexID(i)))
+		}
+	}
+	if back.Size(0) != a.Size(0) {
+		t.Fatal("size counters not rebuilt")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",            // no header
+		"4\n",         // short header
+		"0 2\n0\n0\n", // k < 1
+		"2 x\n",       // bad slots
+		"2 2\n0\n",    // truncated
+		"2 2\n0\n9\n", // partition out of range
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

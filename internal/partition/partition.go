@@ -1,0 +1,204 @@
+// Package partition defines the partition-assignment table, capacity
+// bookkeeping and quality metrics shared by the sequential heuristic, the
+// BSP engine and the experiment harness, together with the four initial
+// partitioning strategies the paper evaluates (Section 4.2.1): hash (HSH),
+// balanced pseudorandom (RND), linear deterministic greedy (DGR, Stanton &
+// Kliot KDD'12) and minimum number of neighbours (MNN, Prabhakaran et al.
+// ATC'12).
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"xdgp/internal/graph"
+)
+
+// ID identifies a partition, 0 ≤ ID < K. None marks unassigned vertices.
+type ID int32
+
+// None is the assignment of a vertex that has not been placed yet.
+const None ID = -1
+
+// Assignment maps every live vertex to a partition and tracks partition
+// sizes. It is indexed by dense VertexID, so lookups are array accesses.
+type Assignment struct {
+	of    []ID
+	sizes []int
+	k     int
+}
+
+// NewAssignment creates an assignment table for the given number of vertex
+// slots and k partitions, with every vertex unassigned.
+func NewAssignment(slots, k int) *Assignment {
+	a := &Assignment{
+		of:    make([]ID, slots),
+		sizes: make([]int, k),
+		k:     k,
+	}
+	for i := range a.of {
+		a.of[i] = None
+	}
+	return a
+}
+
+// K returns the number of partitions.
+func (a *Assignment) K() int { return a.k }
+
+// Slots returns the size of the vertex table the assignment covers.
+func (a *Assignment) Slots() int { return len(a.of) }
+
+// Grow extends the table to cover at least slots vertex IDs.
+func (a *Assignment) Grow(slots int) {
+	for len(a.of) < slots {
+		a.of = append(a.of, None)
+	}
+}
+
+// Of returns the partition of v, or None if v is unassigned or out of
+// range.
+func (a *Assignment) Of(v graph.VertexID) ID {
+	if int(v) >= len(a.of) || v < 0 {
+		return None
+	}
+	return a.of[v]
+}
+
+// Assign places v in partition p, updating size counters. Assigning to the
+// current partition is a no-op; assigning None removes the vertex.
+func (a *Assignment) Assign(v graph.VertexID, p ID) {
+	a.Grow(int(v) + 1)
+	old := a.of[v]
+	if old == p {
+		return
+	}
+	if old != None {
+		a.sizes[old]--
+	}
+	if p != None {
+		a.sizes[p]++
+	}
+	a.of[v] = p
+}
+
+// Unassign removes v from its partition.
+func (a *Assignment) Unassign(v graph.VertexID) { a.Assign(v, None) }
+
+// Size returns the number of vertices currently in partition p.
+func (a *Assignment) Size(p ID) int { return a.sizes[p] }
+
+// Sizes returns a copy of the per-partition sizes.
+func (a *Assignment) Sizes() []int { return append([]int(nil), a.sizes...) }
+
+// Assigned returns the total number of assigned vertices.
+func (a *Assignment) Assigned() int {
+	total := 0
+	for _, s := range a.sizes {
+		total += s
+	}
+	return total
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{
+		of:    append([]ID(nil), a.of...),
+		sizes: append([]int(nil), a.sizes...),
+		k:     a.k,
+	}
+}
+
+// Validate checks that the assignment is a proper partition of g's live
+// vertices: every live vertex assigned to a valid partition, no dead
+// vertex assigned, and size counters consistent.
+func (a *Assignment) Validate(g *graph.Graph) error {
+	counts := make([]int, a.k)
+	var err error
+	g.ForEachVertex(func(v graph.VertexID) {
+		if err != nil {
+			return
+		}
+		p := a.Of(v)
+		if p == None || int(p) >= a.k {
+			err = fmt.Errorf("vertex %d has invalid partition %d", v, p)
+			return
+		}
+		counts[p]++
+	})
+	if err != nil {
+		return err
+	}
+	for i := range a.of {
+		if a.of[i] != None && !g.Has(graph.VertexID(i)) {
+			return fmt.Errorf("dead vertex %d still assigned to %d", i, a.of[i])
+		}
+	}
+	for p, c := range counts {
+		if c != a.sizes[p] {
+			return fmt.Errorf("partition %d size counter %d != actual %d", p, a.sizes[p], c)
+		}
+	}
+	return nil
+}
+
+// CutEdges counts edges whose endpoints are in different partitions (the
+// edge-cut set E_c of the paper's Definition 1). Unassigned endpoints
+// count as cut, since their messages cannot be local.
+func CutEdges(g *graph.Graph, a *Assignment) int {
+	cut := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		if a.Of(u) != a.Of(v) || a.Of(u) == None {
+			cut++
+		}
+	})
+	return cut
+}
+
+// CutRatio is the paper's quality gold standard: |E_c| normalised to the
+// total number of edges. It returns 0 for an empty graph.
+func CutRatio(g *graph.Graph, a *Assignment) float64 {
+	m := g.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	return float64(CutEdges(g, a)) / float64(m)
+}
+
+// Imbalance returns max partition size divided by the balanced share
+// (assigned/k); 1.0 is perfect balance. It returns 0 when nothing is
+// assigned.
+func Imbalance(a *Assignment) float64 {
+	total := a.Assigned()
+	if total == 0 {
+		return 0
+	}
+	maxSize := 0
+	for _, s := range a.sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	return float64(maxSize) / (float64(total) / float64(a.k))
+}
+
+// UniformCapacities returns the per-partition capacity vector the paper's
+// experiments use: factor × the balanced load, rounded up (Figure 4 uses
+// "maximum capacity equal to 110% of the balanced load", factor = 1.10).
+func UniformCapacities(n, k int, factor float64) []int {
+	caps := make([]int, k)
+	per := int(math.Ceil(float64(n) / float64(k) * factor))
+	for i := range caps {
+		caps[i] = per
+	}
+	return caps
+}
+
+// WithinCapacities reports whether every partition size respects caps.
+func WithinCapacities(a *Assignment, caps []int) bool {
+	for p, s := range a.sizes {
+		if p < len(caps) && s > caps[p] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xdgp/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.NewUndirected(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return g
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment(4, 2)
+	if a.K() != 2 || a.Slots() != 4 {
+		t.Fatalf("k=%d slots=%d", a.K(), a.Slots())
+	}
+	a.Assign(0, 1)
+	a.Assign(1, 1)
+	a.Assign(2, 0)
+	if a.Of(0) != 1 || a.Of(3) != None {
+		t.Fatal("lookup mismatch")
+	}
+	if a.Size(1) != 2 || a.Size(0) != 1 {
+		t.Fatalf("sizes = %v", a.Sizes())
+	}
+	a.Assign(0, 0) // move
+	if a.Size(1) != 1 || a.Size(0) != 2 {
+		t.Fatalf("after move sizes = %v", a.Sizes())
+	}
+	a.Unassign(0)
+	if a.Of(0) != None || a.Size(0) != 1 {
+		t.Fatal("unassign failed")
+	}
+	if a.Assigned() != 2 {
+		t.Fatalf("Assigned = %d, want 2", a.Assigned())
+	}
+}
+
+func TestAssignmentGrowAndOutOfRange(t *testing.T) {
+	a := NewAssignment(1, 2)
+	if a.Of(100) != None || a.Of(-1) != None {
+		t.Fatal("out-of-range lookups must return None")
+	}
+	a.Assign(10, 1) // implicit grow
+	if a.Of(10) != 1 || a.Slots() < 11 {
+		t.Fatal("implicit grow failed")
+	}
+}
+
+func TestAssignmentCloneIndependence(t *testing.T) {
+	a := NewAssignment(3, 2)
+	a.Assign(0, 0)
+	b := a.Clone()
+	b.Assign(0, 1)
+	if a.Of(0) != 0 {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := pathGraph(3)
+	a := NewAssignment(g.NumSlots(), 2)
+	if err := a.Validate(g); err == nil {
+		t.Fatal("unassigned vertices must fail validation")
+	}
+	for _, v := range g.Vertices() {
+		a.Assign(v, 0)
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// A dead-but-assigned vertex must fail.
+	g.RemoveVertex(1)
+	if err := a.Validate(g); err == nil {
+		t.Fatal("dead assigned vertex must fail validation")
+	}
+}
+
+func TestCutMetrics(t *testing.T) {
+	g := pathGraph(4) // edges 0-1, 1-2, 2-3
+	a := NewAssignment(g.NumSlots(), 2)
+	a.Assign(0, 0)
+	a.Assign(1, 0)
+	a.Assign(2, 1)
+	a.Assign(3, 1)
+	if cut := CutEdges(g, a); cut != 1 {
+		t.Fatalf("cut = %d, want 1", cut)
+	}
+	if r := CutRatio(g, a); r != 1.0/3.0 {
+		t.Fatalf("ratio = %v, want 1/3", r)
+	}
+	// All in one partition: zero cut.
+	for _, v := range g.Vertices() {
+		a.Assign(v, 0)
+	}
+	if cut := CutEdges(g, a); cut != 0 {
+		t.Fatalf("cut = %d, want 0", cut)
+	}
+	// Unassigned endpoint counts as cut.
+	a.Unassign(1)
+	if cut := CutEdges(g, a); cut != 2 {
+		t.Fatalf("cut = %d, want 2 (edges at unassigned vertex)", cut)
+	}
+}
+
+func TestCutRatioEmptyGraph(t *testing.T) {
+	g := graph.NewUndirected(0)
+	a := NewAssignment(0, 2)
+	if r := CutRatio(g, a); r != 0 {
+		t.Fatalf("ratio of empty graph = %v", r)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	a := NewAssignment(4, 2)
+	if Imbalance(a) != 0 {
+		t.Fatal("empty assignment should report zero imbalance")
+	}
+	a.Assign(0, 0)
+	a.Assign(1, 0)
+	a.Assign(2, 1)
+	a.Assign(3, 1)
+	if got := Imbalance(a); got != 1.0 {
+		t.Fatalf("balanced imbalance = %v, want 1", got)
+	}
+	a.Assign(3, 0)
+	if got := Imbalance(a); got != 1.5 {
+		t.Fatalf("imbalance = %v, want 1.5", got)
+	}
+}
+
+func TestUniformCapacities(t *testing.T) {
+	caps := UniformCapacities(100, 9, 1.10)
+	for _, c := range caps {
+		if c != 13 { // ceil(100/9 × 1.1) = ceil(12.22) = 13
+			t.Fatalf("capacity = %d, want 13", c)
+		}
+	}
+	if len(caps) != 9 {
+		t.Fatalf("len = %d", len(caps))
+	}
+}
+
+func TestUniformCapacitiesAlwaysFitProperty(t *testing.T) {
+	// Total capacity must always be able to hold all n vertices.
+	f := func(n uint16, k uint8, extra uint8) bool {
+		nn := int(n%5000) + 1
+		kk := int(k%32) + 1
+		factor := 1.0 + float64(extra%50)/100
+		caps := UniformCapacities(nn, kk, factor)
+		total := 0
+		for _, c := range caps {
+			total += c
+		}
+		return total >= nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithinCapacities(t *testing.T) {
+	a := NewAssignment(3, 2)
+	a.Assign(0, 0)
+	a.Assign(1, 0)
+	a.Assign(2, 1)
+	if !WithinCapacities(a, []int{2, 2}) {
+		t.Fatal("should be within capacities")
+	}
+	if WithinCapacities(a, []int{1, 2}) {
+		t.Fatal("partition 0 exceeds capacity 1")
+	}
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series records a named sequence of (x, y) points, typically one point per
+// iteration or superstep. It is the unit the experiment harness uses to
+// regenerate the paper's figures as printed columns.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len reports the number of points in the series.
+func (s *Series) Len() int { return len(s.Y) }
+
+// Last returns the final y value, or 0 if the series is empty.
+func (s *Series) Last() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// MaxY returns the maximum y value, or 0 if the series is empty.
+func (s *Series) MaxY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// MinY returns the minimum y value, or 0 if the series is empty.
+func (s *Series) MinY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Normalize returns a copy of the series with every y divided by base.
+// A zero base yields an unmodified copy; this matches the paper's
+// convention of normalising time-per-iteration to the static-hash value.
+func (s *Series) Normalize(base float64) *Series {
+	out := &Series{Name: s.Name, X: append([]float64(nil), s.X...)}
+	out.Y = make([]float64, len(s.Y))
+	copy(out.Y, s.Y)
+	if base != 0 {
+		for i := range out.Y {
+			out.Y[i] /= base
+		}
+	}
+	return out
+}
+
+// Downsample returns a copy keeping roughly n evenly spaced points
+// (always including the first and last). If the series already has at most
+// n points it is copied unchanged.
+func (s *Series) Downsample(n int) *Series {
+	out := &Series{Name: s.Name}
+	if n <= 0 || s.Len() == 0 {
+		return out
+	}
+	if s.Len() <= n {
+		out.X = append([]float64(nil), s.X...)
+		out.Y = append([]float64(nil), s.Y...)
+		return out
+	}
+	step := float64(s.Len()-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i)*step + 0.5)
+		if idx >= s.Len() {
+			idx = s.Len() - 1
+		}
+		out.Add(s.X[idx], s.Y[idx])
+	}
+	return out
+}
+
+// Sparkline renders the series' y values as a unicode sparkline of the
+// given width, used for quick visual inspection of figure shapes in the
+// experiment harness output.
+func (s *Series) Sparkline(width int) string {
+	ds := s.Downsample(width)
+	if ds.Len() == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ds.MinY(), ds.MaxY()
+	var b strings.Builder
+	for _, y := range ds.Y {
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// CSV renders the series as two-column CSV with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x,%s\n", s.Name)
+	for i := range s.Y {
+		fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.SEM != 0 {
+		t.Fatalf("empty summary should be zero, got %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Median != 3.5 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.StdDev != 0 || s.SEM != 0 {
+		t.Fatalf("single sample must have zero spread, got %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// 2,4,4,4,5,5,7,9 has mean 5, sample stddev ≈ 2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Errorf("stddev = %v, want ≈2.138", s.StdDev)
+	}
+	if math.Abs(s.SEM-s.StdDev/math.Sqrt(8)) > 1e-12 {
+		t.Errorf("sem = %v inconsistent with stddev", s.SEM)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Min <= s.Median && s.Median <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "±") {
+		t.Errorf("summary string %q missing ± separator", str)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("cuts")
+	if s.Last() != 0 || s.MaxY() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(0, 10)
+	s.Add(1, 30)
+	s.Add(2, 20)
+	if s.Len() != 3 || s.Last() != 20 {
+		t.Fatalf("len/last = %d/%v", s.Len(), s.Last())
+	}
+	if s.MaxY() != 30 || s.MinY() != 10 {
+		t.Fatalf("max/min = %v/%v", s.MaxY(), s.MinY())
+	}
+}
+
+func TestSeriesNormalize(t *testing.T) {
+	s := NewSeries("t")
+	s.Add(0, 4)
+	s.Add(1, 2)
+	n := s.Normalize(4)
+	if n.Y[0] != 1 || n.Y[1] != 0.5 {
+		t.Fatalf("normalized = %v", n.Y)
+	}
+	// Zero base must not divide.
+	z := s.Normalize(0)
+	if z.Y[0] != 4 {
+		t.Fatalf("zero-base normalize changed values: %v", z.Y)
+	}
+	// Original untouched.
+	if s.Y[0] != 4 {
+		t.Fatal("Normalize mutated the receiver")
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled len = %d, want 10", d.Len())
+	}
+	if d.X[0] != 0 || d.X[9] != 99 {
+		t.Fatalf("endpoints not preserved: %v ... %v", d.X[0], d.X[9])
+	}
+	small := NewSeries("y")
+	small.Add(1, 1)
+	if small.Downsample(10).Len() != 1 {
+		t.Fatal("short series should be copied unchanged")
+	}
+}
+
+func TestSeriesSparkline(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 8; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	sp := s.Sparkline(8)
+	if len([]rune(sp)) != 8 {
+		t.Fatalf("sparkline width = %d, want 8", len([]rune(sp)))
+	}
+	if []rune(sp)[0] == []rune(sp)[7] {
+		t.Fatal("increasing series should start and end with different blocks")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("v")
+	s.Add(1, 2)
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,v\n") || !strings.Contains(csv, "1,2\n") {
+		t.Fatalf("bad csv: %q", csv)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Fatalf("table output missing rows:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}

