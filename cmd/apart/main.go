@@ -47,6 +47,7 @@ func run(args []string) error {
 		capFactor = fs.Float64("capacity", 1.10, "capacity factor over balanced load")
 		maxIter   = fs.Int("max-iterations", 5000, "iteration bound")
 		seed      = fs.Int64("seed", 1, "random seed")
+		parallel  = fs.Int("parallel", 0, "shards for the iterative sweep (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,13 +86,18 @@ func run(args []string) error {
 		cfg.CapacityFactor = *capFactor
 		cfg.MaxIterations = *maxIter
 		cfg.RecordEvery = 0
+		cfg.Parallelism = *parallel
 		p, err := core.New(work, asn, cfg)
 		if err != nil {
 			return err
 		}
 		res := p.Run()
-		fmt.Printf("iterative: cut ratio %.4f, imbalance %.3f, converged at iteration %d (%d migrations)\n",
-			res.FinalCutRatio, partition.Imbalance(p.Assignment()), res.ConvergedAt, res.TotalMigrations)
+		mode := fmt.Sprintf("%d shards", p.Parallelism())
+		if p.Parallelism() == 1 {
+			mode = "sequential"
+		}
+		fmt.Printf("iterative (%s): cut ratio %.4f, imbalance %.3f, converged at iteration %d (%d migrations)\n",
+			mode, res.FinalCutRatio, partition.Imbalance(p.Assignment()), res.ConvergedAt, res.TotalMigrations)
 		if !res.Converged {
 			fmt.Println("warning: hit the iteration bound before convergence")
 		}

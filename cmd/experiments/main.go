@@ -29,11 +29,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		runID = fs.String("run", "all", "experiment id (or 'all'): "+strings.Join(experiments.IDs(), ", "))
-		quick = fs.Bool("quick", false, "miniature datasets and few repetitions")
-		reps  = fs.Int("reps", 0, "repetitions (0 = experiment default, the paper uses 10)")
-		seed  = fs.Int64("seed", 1, "base random seed")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
+		runID    = fs.String("run", "all", "experiment id (or 'all'): "+strings.Join(experiments.IDs(), ", "))
+		quick    = fs.Bool("quick", false, "miniature datasets and few repetitions")
+		reps     = fs.Int("reps", 0, "repetitions (0 = experiment default, the paper uses 10)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		parallel = fs.Int("parallel", 0, "shards for the quality experiments' vertex sweep (0 = paper-exact sequential)")
+		workers  = fs.Int("workers", 0, "compute goroutines per BSP engine (0 = one per partition)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,7 +46,10 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	opt := experiments.Options{Quick: *quick, Reps: *reps, Seed: *seed, Out: os.Stdout}
+	opt := experiments.Options{
+		Quick: *quick, Reps: *reps, Seed: *seed, Out: os.Stdout,
+		Parallelism: *parallel, Workers: *workers,
+	}
 	ids := []string{*runID}
 	if *runID == "all" {
 		ids = experiments.IDs()

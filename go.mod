@@ -1,0 +1,3 @@
+module xdgp
+
+go 1.24

@@ -58,6 +58,34 @@ func TestAdaptiveReducesCutOnEngine(t *testing.T) {
 	}
 }
 
+// TestAdaptiveWithDecoupledWorkers runs the background service on an
+// engine whose compute-goroutine count differs from k: the service plans
+// against partitions, so adaptation quality must not depend on workers.
+func TestAdaptiveWithDecoupledWorkers(t *testing.T) {
+	for _, workers := range []int{1, 3, 7} {
+		g := gen.Cube3D(8)
+		asn := partition.Hash(g, 4)
+		before := partition.CutRatio(g, asn)
+		e, err := bsp.NewEngine(g, asn, idleProgram{}, bsp.Config{Workers: workers, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := New(DefaultConfig(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetRepartitioner(svc)
+		e.RunSupersteps(120)
+		after := partition.CutRatio(g, e.Addr())
+		if after > before-0.2 {
+			t.Fatalf("workers=%d: cut ratio %.3f -> %.3f below paper band", workers, before, after)
+		}
+		if err := e.Addr().Validate(g); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
 func TestAdaptiveRespectsCapacitiesFromBalancedStart(t *testing.T) {
 	g := gen.HolmeKim(1200, 5, 0.1, 3)
 	asn := partition.Random(g, 9, 3)

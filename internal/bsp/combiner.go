@@ -12,21 +12,25 @@ type MessageCombiner interface {
 	CombineMessages(a, b any) any
 }
 
-// combine folds msg into the worker's outbox entry for dst if one already
-// exists in the destination worker's buffer, and reports whether it did.
-// The per-superstep index map makes the lookup O(1).
+// combine folds msg into the worker's outbox entry for the current source
+// partition and dst if one already exists, and reports whether it did.
+// Messages from different source partitions never fold here — they are
+// distinct simulated machines; the engine completes each partition's fold
+// across workers at the barrier. The per-superstep index map makes the
+// lookup O(1).
 func (w *worker) combine(dst graph.VertexID, msg any) bool {
-	idx, ok := w.combineIdx[dst]
+	idx, ok := w.combineIdx[mergeKey{src: w.srcPart, dst: dst}]
 	if !ok {
 		return false
 	}
-	slot := &w.outbox[idx.worker][idx.pos]
+	slot := &w.outbox[idx.part][idx.pos]
 	slot.msg = w.combiner.CombineMessages(slot.msg, msg)
 	return true
 }
 
-// combineRef locates an outbox entry for in-place combining.
+// combineRef locates an outbox entry (destination partition, position) for
+// in-place combining.
 type combineRef struct {
-	worker int
-	pos    int
+	part int
+	pos  int
 }

@@ -2,6 +2,7 @@ package bsp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -11,9 +12,15 @@ import (
 
 // Config parameterises the engine.
 type Config struct {
-	// Workers is the number of workers; each hosts exactly one partition
-	// (the configuration the paper's experiments imply), so Workers must
-	// equal the assignment's k.
+	// Workers is the number of compute goroutines executing the vertex
+	// sweep each superstep. It is independent of the number of partitions
+	// k, which comes from the assignment: partitions are the simulated
+	// machines of the cost model (message locality, migration, the
+	// per-superstep clock), while workers are real CPU shards that each
+	// own a contiguous range of vertex slots (as in Spinner, where the
+	// label-propagation kernel scales with workers independent of k).
+	// 0 picks runtime.GOMAXPROCS(0). The simulated statistics are
+	// identical for every worker count; only wall-clock time changes.
 	Workers int
 	// Seed drives deterministic per-superstep worker randomness.
 	Seed int64
@@ -47,8 +54,13 @@ type Repartitioner interface {
 // View is the read-only system state handed to a Repartitioner.
 type View struct{ e *Engine }
 
-// K returns the number of partitions/workers.
-func (v *View) K() int { return v.e.cfg.Workers }
+// K returns the number of partitions.
+func (v *View) K() int { return v.e.k }
+
+// Workers returns the number of compute goroutines. Repartitioning logic
+// should almost always use K instead: partition membership, quotas and the
+// cost model are all per-partition.
+func (v *View) Workers() int { return len(v.e.workers) }
 
 // Superstep returns the superstep whose barrier is executing.
 func (v *View) Superstep() int { return v.e.superstep }
@@ -67,28 +79,45 @@ func (v *View) Migrating(id graph.VertexID) bool {
 	return ok
 }
 
-// WorkerCosts returns each worker's cost from the superstep whose barrier
-// is executing — the runtime hot-spot statistics the paper's second
-// future-work extension feeds back into balancing. The slice is owned by
-// the engine and must not be mutated.
+// WorkerCosts returns each partition's simulated cost from the superstep
+// whose barrier is executing — the runtime hot-spot statistics the paper's
+// second future-work extension feeds back into balancing. (The paper hosts
+// one partition per physical worker, hence the name; compute goroutines do
+// not appear in the cost model.) The slice is indexed by partition ID, is
+// owned by the engine and must not be mutated.
 func (v *View) WorkerCosts() []float64 { return v.e.lastCosts }
 
 type outMsg struct {
 	dst graph.VertexID
+	src partition.ID // sending vertex's partition: prices local vs remote
 	msg any
 }
 
-// worker is the per-worker compute state. Workers own the vertices whose
-// home is their id; the engine guarantees exclusive access during the
-// parallel compute phase.
+// mergeKey identifies a combinable message group: one source partition,
+// one destination vertex. Combining never crosses source partitions —
+// separate simulated machines cannot fold their traffic.
+type mergeKey struct {
+	src partition.ID
+	dst graph.VertexID
+}
+
+// worker is the per-goroutine compute state. Each superstep every worker
+// owns a contiguous range of vertex slots [lo, hi); the engine guarantees
+// exclusive access to those vertices during the parallel compute phase.
+// Cost accounting stays per-partition — the simulated machines — so the
+// numbers a run reports are identical for any worker count.
 type worker struct {
 	id            int
-	outbox        [][]outMsg
+	lo, hi        int
+	outbox        [][]outMsg // indexed by destination partition
 	aggPartial    map[string]float64
 	aggMaxPartial map[string]float64
 	combiner      MessageCombiner
-	combineIdx    map[graph.VertexID]combineRef
-	cost          float64
+	combineIdx    map[mergeKey]combineRef
+	srcPart       partition.ID // partition of the vertex being computed
+	computedBy    []int        // computed vertices per partition
+	localBy       []int        // local messages per sending partition
+	remoteBy      []int        // remote messages per sending partition
 	localMsgs     int
 	remoteMsgs    int
 	computed      int
@@ -97,41 +126,55 @@ type worker struct {
 func (w *worker) reset(k int) {
 	if w.outbox == nil {
 		w.outbox = make([][]outMsg, k)
+		w.computedBy = make([]int, k)
+		w.localBy = make([]int, k)
+		w.remoteBy = make([]int, k)
 	}
 	for i := range w.outbox {
 		w.outbox[i] = w.outbox[i][:0]
 	}
+	clear(w.computedBy)
+	clear(w.localBy)
+	clear(w.remoteBy)
 	clear(w.aggPartial)
 	clear(w.aggMaxPartial)
 	if w.combiner != nil {
 		clear(w.combineIdx)
 	}
-	w.cost = 0
 	w.localMsgs = 0
 	w.remoteMsgs = 0
 	w.computed = 0
 }
 
 // send buffers a message for the barrier, classifying it local or remote
-// by the destination's address at send time. With a combiner, messages to
-// the same destination fold into one buffered (and one priced) message.
+// by comparing the destination's partition with the sending vertex's — the
+// simulated network, independent of which goroutine computes either end.
+// With a combiner, messages from the same source partition to the same
+// destination fold into one message; the fold completes across workers at
+// the barrier (a partition's vertices may be swept by several goroutines),
+// where the merged messages are priced, so combiner statistics are also
+// invariant under the worker count.
 func (w *worker) send(e *Engine, dst graph.VertexID, msg any) {
 	p := e.addr.Of(dst)
 	if p == partition.None {
 		return // destination unknown (removed or never existed): drop
 	}
-	if w.combiner != nil && w.combine(dst, msg) {
+	if w.combiner != nil {
+		if w.combine(dst, msg) {
+			return
+		}
+		w.outbox[p] = append(w.outbox[p], outMsg{dst: dst, src: w.srcPart, msg: msg})
+		w.combineIdx[mergeKey{src: w.srcPart, dst: dst}] = combineRef{part: int(p), pos: len(w.outbox[p]) - 1}
 		return
 	}
-	if int(p) == w.id {
+	if p == w.srcPart {
 		w.localMsgs++
+		w.localBy[w.srcPart]++
 	} else {
 		w.remoteMsgs++
+		w.remoteBy[w.srcPart]++
 	}
-	w.outbox[p] = append(w.outbox[p], outMsg{dst: dst, msg: msg})
-	if w.combiner != nil {
-		w.combineIdx[dst] = combineRef{worker: int(p), pos: len(w.outbox[p]) - 1}
-	}
+	w.outbox[p] = append(w.outbox[p], outMsg{dst: dst, src: w.srcPart, msg: msg})
 }
 
 // Engine executes a Program over a partitioned dynamic graph.
@@ -139,12 +182,18 @@ type Engine struct {
 	cfg  Config
 	g    *graph.Graph
 	prog Program
+	// k is the number of partitions (simulated machines), from the
+	// assignment — independent of the number of compute workers.
+	k int
 
 	// addr is the addressing table: where messages for a vertex are sent.
 	// It is updated at the barrier where a migration is decided.
 	addr *partition.Assignment
-	// home is the compute location: which worker runs the vertex. It lags
-	// addr by one superstep for migrating vertices (deferred protocol).
+	// home is the vertex's home partition — the simulated machine that
+	// physically holds its state. It lags addr by one superstep for
+	// migrating vertices (deferred protocol). -1 marks dead/unplaced
+	// slots. Which goroutine computes a vertex is unrelated: workers own
+	// slot shards.
 	home []int32
 	// pendingHome holds migrations awaiting their physical move.
 	pendingHome map[graph.VertexID]partition.ID
@@ -154,9 +203,17 @@ type Engine struct {
 	inbox  [][]any
 
 	workers    []*worker
+	combiner   MessageCombiner
 	aggregated map[string]float64
 	repart     Repartitioner
 	stream     graph.Stream
+
+	// Barrier-side scratch for completing the combiner fold across
+	// workers and pricing the merged messages per source partition.
+	mergeIdx      map[mergeKey]int
+	mergedBuf     []outMsg
+	deliverLocal  []int
+	deliverRemote []int
 
 	superstep     int
 	costPerVertex float64
@@ -172,11 +229,14 @@ type Engine struct {
 // NewEngine builds an engine over g with the given initial assignment
 // (adopted, not copied) and vertex program.
 func NewEngine(g *graph.Graph, asn *partition.Assignment, prog Program, cfg Config) (*Engine, error) {
-	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("bsp: Workers must be ≥ 1, got %d", cfg.Workers)
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("bsp: Workers must be ≥ 0, got %d", cfg.Workers)
 	}
-	if asn.K() != cfg.Workers {
-		return nil, fmt.Errorf("bsp: assignment k=%d != Workers=%d", asn.K(), cfg.Workers)
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if asn.K() < 1 {
+		return nil, fmt.Errorf("bsp: assignment must have k ≥ 1, got %d", asn.K())
 	}
 	if err := asn.Validate(g); err != nil {
 		return nil, fmt.Errorf("bsp: invalid assignment: %w", err)
@@ -188,6 +248,7 @@ func NewEngine(g *graph.Graph, asn *partition.Assignment, prog Program, cfg Conf
 		cfg:           cfg,
 		g:             g,
 		prog:          prog,
+		k:             asn.K(),
 		addr:          asn,
 		pendingHome:   make(map[graph.VertexID]partition.ID),
 		aggregated:    make(map[string]float64),
@@ -198,6 +259,12 @@ func NewEngine(g *graph.Graph, asn *partition.Assignment, prog Program, cfg Conf
 		e.costPerVertex = cd.CostPerVertex()
 	}
 	combiner, _ := prog.(MessageCombiner)
+	e.combiner = combiner
+	if combiner != nil {
+		e.mergeIdx = make(map[mergeKey]int)
+		e.deliverLocal = make([]int, e.k)
+		e.deliverRemote = make([]int, e.k)
+	}
 	e.workers = make([]*worker, cfg.Workers)
 	for i := range e.workers {
 		e.workers[i] = &worker{
@@ -207,7 +274,7 @@ func NewEngine(g *graph.Graph, asn *partition.Assignment, prog Program, cfg Conf
 			combiner:      combiner,
 		}
 		if combiner != nil {
-			e.workers[i].combineIdx = make(map[graph.VertexID]combineRef)
+			e.workers[i].combineIdx = make(map[mergeKey]combineRef)
 		}
 	}
 	e.grow()
@@ -275,8 +342,13 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 	t := e.superstep
 
 	// ---- Parallel compute phase ----
+	// Workers own contiguous slot shards, re-derived every superstep so
+	// the shards track graph growth; partition membership plays no role in
+	// ownership (worker/partition decoupling).
+	slots := len(e.home)
 	for _, w := range e.workers {
-		w.reset(e.cfg.Workers)
+		w.reset(e.k)
+		w.lo, w.hi = graph.ShardRange(w.id, len(e.workers), slots)
 	}
 	for _, w := range e.workers {
 		e.wg.Add(1)
@@ -291,7 +363,7 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 	st := SuperstepStats{Superstep: t, CutEdges: -1}
 
 	// 1. Complete physical moves decided at the previous barrier.
-	migCost := make([]float64, e.cfg.Workers)
+	migCost := make([]float64, e.k)
 	if len(e.pendingHome) > 0 {
 		moves := make([]graph.VertexID, 0, len(e.pendingHome))
 		for v := range e.pendingHome {
@@ -312,19 +384,61 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 	}
 
 	// 2. Deliver messages sent during this superstep (visible at t+1).
+	// With a combiner, first complete the per-source-partition fold
+	// across workers — a partition's vertices may have been swept by
+	// several goroutines — then price the merged messages, so message
+	// statistics match the one-machine-per-partition cluster regardless
+	// of the worker count.
 	delivered := 0
 	for _, w := range e.workers {
-		st.LocalMsgs += w.localMsgs
-		st.RemoteMsgs += w.remoteMsgs
 		st.ActiveVertices += w.computed
-		for _, box := range w.outbox {
-			for _, m := range box {
+	}
+	if e.combiner == nil {
+		for _, w := range e.workers {
+			st.LocalMsgs += w.localMsgs
+			st.RemoteMsgs += w.remoteMsgs
+			for _, box := range w.outbox {
+				for _, m := range box {
+					if !e.g.Has(m.dst) {
+						continue // removed while in flight
+					}
+					e.inbox[m.dst] = append(e.inbox[m.dst], m.msg)
+					delivered++
+				}
+			}
+		}
+	} else {
+		clear(e.deliverLocal)
+		clear(e.deliverRemote)
+		for p := 0; p < e.k; p++ {
+			merged := e.mergedBuf[:0]
+			clear(e.mergeIdx)
+			for _, w := range e.workers {
+				for _, m := range w.outbox[p] {
+					key := mergeKey{src: m.src, dst: m.dst}
+					if j, ok := e.mergeIdx[key]; ok {
+						merged[j].msg = e.combiner.CombineMessages(merged[j].msg, m.msg)
+					} else {
+						e.mergeIdx[key] = len(merged)
+						merged = append(merged, m)
+					}
+				}
+			}
+			for _, m := range merged {
+				if int(m.src) == p {
+					st.LocalMsgs++
+					e.deliverLocal[m.src]++
+				} else {
+					st.RemoteMsgs++
+					e.deliverRemote[m.src]++
+				}
 				if !e.g.Has(m.dst) {
 					continue // removed while in flight
 				}
 				e.inbox[m.dst] = append(e.inbox[m.dst], m.msg)
 				delivered++
 			}
+			e.mergedBuf = merged[:0]
 		}
 	}
 
@@ -333,21 +447,35 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 		st.Mutations = e.applyBatch(e.stream.Next())
 	}
 
-	// 4. Record per-worker costs of this superstep (compute is done, and
-	// migration shares are known from step 1), then run the repartitioner
-	// — it sees the load statistics the hot-spot extension consumes — and
-	// start migrations (deferred protocol: addressing changes now, the
-	// physical move completes next barrier).
-	if len(e.lastCosts) != len(e.workers) {
-		e.lastCosts = make([]float64, len(e.workers))
+	// 4. Record per-partition costs of this superstep (compute is done,
+	// and migration shares are known from step 1), then run the
+	// repartitioner — it sees the load statistics the hot-spot extension
+	// consumes — and start migrations (deferred protocol: addressing
+	// changes now, the physical move completes next barrier). Costs are
+	// accumulated by partition, not by compute goroutine, so the simulated
+	// clock is invariant under the worker count.
+	if len(e.lastCosts) != e.k {
+		e.lastCosts = make([]float64, e.k)
 	}
-	for i, w := range e.workers {
-		e.lastCosts[i] = w.cost + migCost[i]
+	for j := 0; j < e.k; j++ {
+		c := migCost[j]
+		for _, w := range e.workers {
+			c += float64(w.computedBy[j])*e.cfg.Cost.PerVertex*e.costPerVertex +
+				float64(w.localBy[j])*e.cfg.Cost.PerLocalMsg +
+				float64(w.remoteBy[j])*e.cfg.Cost.PerRemoteMsg
+		}
+		if e.combiner != nil {
+			// Combined messages are priced after the cross-worker fold
+			// (the per-worker counters stay zero).
+			c += float64(e.deliverLocal[j])*e.cfg.Cost.PerLocalMsg +
+				float64(e.deliverRemote[j])*e.cfg.Cost.PerRemoteMsg
+		}
+		e.lastCosts[j] = c
 	}
 	if e.repart != nil {
 		reqs := e.repart.Plan(&View{e: e})
 		for _, r := range reqs {
-			if !e.g.Has(r.V) || r.To < 0 || int(r.To) >= e.cfg.Workers {
+			if !e.g.Has(r.V) || r.To < 0 || int(r.To) >= e.k {
 				continue
 			}
 			if e.addr.Of(r.V) == r.To {
@@ -387,7 +515,7 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 		}
 	}
 
-	// 6. Cost clock: slowest worker (including its share of migration
+	// 6. Cost clock: slowest partition (including its share of migration
 	// work) plus the barrier constant.
 	maxCost := 0.0
 	for _, c := range e.lastCosts {
@@ -421,25 +549,23 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 
 func (e *Engine) computeWorker(w *worker, t int) {
 	ctx := VertexContext{engine: e, worker: w, superstep: t}
-	wid := int32(w.id)
-	for id := range e.home {
-		if e.home[id] != wid {
-			continue
+	for id := w.lo; id < w.hi; id++ {
+		hp := e.home[id]
+		if hp < 0 {
+			continue // dead or not yet placed
 		}
-		v := graph.VertexID(id)
 		msgs := e.inbox[id]
 		if len(msgs) == 0 && e.halted[id] {
 			continue
 		}
 		e.halted[id] = false
-		ctx.id = v
+		w.srcPart = partition.ID(hp)
+		ctx.id = graph.VertexID(id)
 		e.prog.Compute(&ctx, msgs)
 		e.inbox[id] = nil
 		w.computed++
+		w.computedBy[hp]++
 	}
-	w.cost = float64(w.computed)*e.cfg.Cost.PerVertex*e.costPerVertex +
-		float64(w.localMsgs)*e.cfg.Cost.PerLocalMsg +
-		float64(w.remoteMsgs)*e.cfg.Cost.PerRemoteMsg
 }
 
 // applyBatch applies a stream batch at the barrier: vertices/edges change,
@@ -461,9 +587,9 @@ func (e *Engine) applyBatch(b graph.Batch) int {
 		}
 		var p partition.ID
 		if e.cfg.Placer != nil {
-			p = e.cfg.Placer(v, e.cfg.Workers)
+			p = e.cfg.Placer(v, e.k)
 		} else {
-			p = partition.HashVertex(v, e.cfg.Workers)
+			p = partition.HashVertex(v, e.k)
 		}
 		e.addr.Assign(v, p)
 		e.home[v] = int32(p)

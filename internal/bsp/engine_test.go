@@ -47,15 +47,127 @@ func newTestEngine(t *testing.T, g *graph.Graph, k int, prog Program, cfg Config
 func TestEngineValidation(t *testing.T) {
 	g := pairGraph()
 	asn := partition.Hash(g, 2)
-	if _, err := NewEngine(g, asn, &echoProgram{}, Config{Workers: 0}); err == nil {
-		t.Fatal("Workers=0 must error")
+	if _, err := NewEngine(g, asn, &echoProgram{}, Config{Workers: -1}); err == nil {
+		t.Fatal("negative Workers must error")
 	}
-	if _, err := NewEngine(g, asn, &echoProgram{}, Config{Workers: 3}); err == nil {
-		t.Fatal("k mismatch must error")
+	// Workers is decoupled from k: 0 means GOMAXPROCS, any positive count
+	// is legal regardless of the assignment's partition count.
+	if _, err := NewEngine(g, asn.Clone(), &echoProgram{}, Config{Workers: 0}); err != nil {
+		t.Fatalf("Workers=0 (auto) must be accepted: %v", err)
+	}
+	if _, err := NewEngine(g, asn.Clone(), &echoProgram{}, Config{Workers: 3}); err != nil {
+		t.Fatalf("Workers != k must be accepted: %v", err)
 	}
 	empty := partition.NewAssignment(g.NumSlots(), 2)
 	if _, err := NewEngine(g, empty, &echoProgram{}, Config{Workers: 2}); err == nil {
 		t.Fatal("invalid assignment must error")
+	}
+}
+
+// sumCombineProgram floods float messages with a summing combiner — the
+// PageRank-shaped workload that exercises cross-worker message folding.
+type sumCombineProgram struct{ rounds int }
+
+func (p *sumCombineProgram) Init(ctx *VertexContext) any { return 0.0 }
+
+func (p *sumCombineProgram) Compute(ctx *VertexContext, msgs []any) {
+	total := ctx.Value().(float64)
+	for _, m := range msgs {
+		total += m.(float64)
+	}
+	ctx.SetValue(total)
+	if ctx.Superstep() < p.rounds {
+		ctx.SendToNeighbors(1.0)
+	} else {
+		ctx.VoteToHalt()
+	}
+}
+
+func (p *sumCombineProgram) CombineMessages(a, b any) any { return a.(float64) + b.(float64) }
+
+// TestWorkerCountInvariance pins the worker/partition decoupling: the
+// simulated statistics (message locality, per-partition costs, superstep
+// time, vertex values) are identical whichever number of compute
+// goroutines sweeps the vertices.
+func TestWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) (*Engine, []SuperstepStats) {
+		g := gen.Cube3D(6) // 216 vertices, k=4 partitions
+		asn := partition.Hash(g, 4)
+		e, err := NewEngine(g, asn, &echoProgram{rounds: 3}, Config{Workers: workers, Seed: 1, RecordEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, _ := e.RunUntilQuiescent(10)
+		return e, stats
+	}
+	ref, refStats := run(4) // the old coupled configuration: one worker per partition
+	for _, workers := range []int{1, 3, 7} {
+		e, stats := run(workers)
+		if len(stats) != len(refStats) {
+			t.Fatalf("workers=%d: %d supersteps, want %d", workers, len(stats), len(refStats))
+		}
+		for i := range stats {
+			got, want := stats[i], refStats[i]
+			// Per-partition costs are summed over workers, so the float
+			// addition order — and nothing else — may differ.
+			if d := got.Time - want.Time; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("workers=%d superstep %d: time %v != reference %v",
+					workers, i, got.Time, want.Time)
+			}
+			got.Time = want.Time
+			if got != want {
+				t.Fatalf("workers=%d superstep %d: stats %+v != reference %+v",
+					workers, i, got, want)
+			}
+		}
+		e.Graph().ForEachVertex(func(v graph.VertexID) {
+			if e.Value(v) != ref.Value(v) {
+				t.Fatalf("workers=%d: vertex %d value %v != reference %v",
+					workers, v, e.Value(v), ref.Value(v))
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvarianceWithCombiner repeats the invariance pin for a
+// combiner program: combining happens per source partition (the simulated
+// machine where the fold physically occurs), so message counts and costs
+// must not depend on how vertices are spread over compute goroutines.
+func TestWorkerCountInvarianceWithCombiner(t *testing.T) {
+	run := func(workers int) (*Engine, []SuperstepStats) {
+		g := gen.Cube3D(6)
+		asn := partition.Hash(g, 4)
+		e, err := NewEngine(g, asn, &sumCombineProgram{rounds: 3}, Config{Workers: workers, Seed: 1, RecordEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, _ := e.RunUntilQuiescent(10)
+		return e, stats
+	}
+	ref, refStats := run(4)
+	for _, workers := range []int{1, 3, 8} {
+		e, stats := run(workers)
+		if len(stats) != len(refStats) {
+			t.Fatalf("workers=%d: %d supersteps, want %d", workers, len(stats), len(refStats))
+		}
+		for i := range stats {
+			got, want := stats[i], refStats[i]
+			if d := got.Time - want.Time; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("workers=%d superstep %d: time %v != reference %v",
+					workers, i, got.Time, want.Time)
+			}
+			got.Time = want.Time
+			if got != want {
+				t.Fatalf("workers=%d superstep %d: stats %+v != reference %+v",
+					workers, i, got, want)
+			}
+		}
+		e.Graph().ForEachVertex(func(v graph.VertexID) {
+			if e.Value(v) != ref.Value(v) {
+				t.Fatalf("workers=%d: vertex %d value %v != reference %v",
+					workers, v, e.Value(v), ref.Value(v))
+			}
+		})
 	}
 }
 

@@ -5,11 +5,14 @@
 // classic Pregel — the computation runs continuously while vertices and
 // edges are injected or removed from a stream.
 //
-// The engine simulates a cluster in-process: one goroutine per worker, one
-// partition per worker, with a deterministic cost clock that charges
-// compute, local messages, remote messages and vertex migrations so that
-// "time per superstep" can be reported and normalised exactly the way the
-// paper does. Vertex migration follows the paper's deferred protocol: a
+// The engine simulates a cluster in-process. The k partitions are the
+// simulated machines: a deterministic cost clock charges each partition
+// for its compute, local messages, remote messages and vertex migrations
+// so that "time per superstep" can be reported and normalised exactly the
+// way the paper does. Compute parallelism is decoupled from k: any number
+// of worker goroutines (Config.Workers) sweep the vertex set in contiguous
+// slot shards, and the simulated statistics are identical for every worker
+// count. Vertex migration follows the paper's deferred protocol: a
 // migration decided at the barrier of superstep t redirects new messages
 // from t+1 onwards, while the vertex computes one final superstep on its
 // old worker and physically moves at the next barrier, so no message is

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/partition"
+)
+
+// benchStep measures one full iteration (decide + grant + apply) at the
+// given shard count, on a power-law graph large enough that the sweep
+// dominates goroutine fan-out overhead.
+func benchStep(b *testing.B, par int) {
+	g := gen.HolmeKim(30000, 7, 0.1, 1)
+	cfg := DefaultConfig(16, 1)
+	cfg.RecordEvery = 0
+	cfg.Parallelism = par
+	p, err := New(g, partition.Hash(g, 16), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkStepPowerLaw compares the sequential iteration against the
+// sharded sweep: the decide phase is embarrassingly parallel, so on a
+// multicore machine P≥4 is expected to beat seq by ≥2x.
+func BenchmarkStepPowerLaw(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchStep(b, 1) })
+	for _, par := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("P=%d", par), func(b *testing.B) { benchStep(b, par) })
+	}
+}
+
+// BenchmarkStepEdgeBalanced measures the edge-balanced extension under
+// both paths (quota units are degrees, so the grant phase claims larger
+// amounts).
+func BenchmarkStepEdgeBalanced(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"seq", 1}, {"P=4", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			g := gen.HolmeKim(20000, 6, 0.1, 2)
+			cfg := DefaultConfig(12, 2)
+			cfg.RecordEvery = 0
+			cfg.BalanceEdges = true
+			cfg.Parallelism = bc.par
+			p, err := New(g, partition.Random(g, 12, 2), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step()
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"xdgp/internal/graph"
 	"xdgp/internal/partition"
@@ -49,6 +50,14 @@ type Config struct {
 	MaxIterations int
 	// Seed drives every random choice (move coins, tie-breaks).
 	Seed int64
+	// Parallelism is the number of shards the per-iteration vertex sweep
+	// is split across, each served by its own goroutine and deterministic
+	// RNG (seeded from Seed + shard index). 0 picks
+	// runtime.GOMAXPROCS(0); 1 runs the exact sequential path the paper's
+	// quality experiments use. Results are reproducible for a fixed shard
+	// count but differ between shard counts, because each shard consumes
+	// its own random stream.
+	Parallelism int
 	// RecordEvery controls how often per-iteration cut statistics are
 	// computed: every n iterations (n ≥ 1), or only on demand when 0.
 	// Migration counts are always recorded.
@@ -69,7 +78,10 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's standard setting: capacity 110 %,
-// s = 0.5, 30-iteration convergence window.
+// s = 0.5, 30-iteration convergence window, sequential sweep. The
+// sequential default keeps results reproducible across machines — an
+// explicit Parallelism (or 0 for one shard per CPU) trades that for
+// speed.
 func DefaultConfig(k int, seed int64) Config {
 	return Config{
 		K:                 k,
@@ -79,6 +91,7 @@ func DefaultConfig(k int, seed int64) Config {
 		MaxIterations:     5000,
 		Seed:              seed,
 		RecordEvery:       1,
+		Parallelism:       1,
 	}
 }
 
@@ -97,6 +110,9 @@ func (c *Config) validate() error {
 	}
 	if c.MaxIterations < 1 {
 		return fmt.Errorf("core: MaxIterations must be ≥ 1, got %d", c.MaxIterations)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be ≥ 0, got %d", c.Parallelism)
 	}
 	return nil
 }
@@ -152,6 +168,12 @@ type Partitioner struct {
 	tied   []partition.ID
 	moves  []move
 	quota  [][]int
+	// par is the resolved shard count; shards, ledger and grantBufs are
+	// the parallel path's state (nil/empty when par == 1).
+	par       int
+	shards    []*coreShard
+	ledger    []int64
+	grantBufs [][]move
 }
 
 type move struct {
@@ -183,9 +205,23 @@ func New(g *graph.Graph, asn *partition.Assignment, cfg Config) (*Partitioner, e
 	for i := range p.quota {
 		p.quota[i] = make([]int, cfg.K)
 	}
+	p.par = cfg.Parallelism
+	if p.par == 0 {
+		p.par = runtime.GOMAXPROCS(0)
+	}
+	if p.par > 1 {
+		p.shards = make([]*coreShard, p.par)
+		for s := range p.shards {
+			p.shards[s] = newCoreShard(cfg.Seed, s, cfg.K)
+		}
+		p.ledger = make([]int64, cfg.K*cfg.K)
+	}
 	p.recomputeCapacities()
 	return p, nil
 }
+
+// Parallelism returns the resolved shard count the sweep runs with.
+func (p *Partitioner) Parallelism() int { return p.par }
 
 // Assignment returns the live assignment table (mutated by Step).
 func (p *Partitioner) Assignment() *partition.Assignment { return p.asn }
@@ -324,7 +360,12 @@ func (p *Partitioner) Step() IterationStats {
 
 	p.moves = p.moves[:0]
 	requested := 0
-	if k > 1 {
+	switch {
+	case k <= 1:
+		// Single partition: nothing can move.
+	case p.par > 1:
+		requested = p.stepParallel(weight)
+	default:
 		p.g.ForEachVertex(func(v graph.VertexID) {
 			if p.cfg.S < 1 && p.rng.Float64() >= p.cfg.S {
 				return // unwilling this iteration
@@ -383,21 +424,32 @@ func (p *Partitioner) Step() IterationStats {
 // |Γ(v) ∩ P(i)|, or nil when the current partition is itself a candidate
 // (the heuristic preferentially stays, Section 2.1).
 func (p *Partitioner) bestPartitions(v graph.VertexID, cur partition.ID) []partition.ID {
-	counts := p.counts
+	p.tied = bestPartitionsInto(p.g, p.asn, v, cur, p.counts, p.tied)
+	if len(p.tied) == 0 {
+		return nil
+	}
+	return p.tied
+}
+
+// bestPartitionsInto is the buffer-parameterised form of bestPartitions,
+// shared by the sequential path and the parallel shards (each shard passes
+// its own scratch so the sweep is data-race free). It returns tied with the
+// winners appended, or tied[:0] when the current partition is among them.
+func bestPartitionsInto(g *graph.Graph, asn *partition.Assignment, v graph.VertexID, cur partition.ID, counts []int, tied []partition.ID) []partition.ID {
 	for i := range counts {
 		counts[i] = 0
 	}
 	counts[cur]++ // Γ(v) includes v itself
-	for _, w := range p.g.Neighbors(v) {
-		if pw := p.asn.Of(w); pw != partition.None {
+	for _, w := range g.Neighbors(v) {
+		if pw := asn.Of(w); pw != partition.None {
 			counts[pw]++
 		}
 	}
-	if p.g.Directed() {
+	if g.Directed() {
 		// Both directions matter on digraphs: a cut edge costs
 		// communication whichever way messages flow.
-		for _, w := range p.g.InNeighbors(v) {
-			if pw := p.asn.Of(w); pw != partition.None {
+		for _, w := range g.InNeighbors(v) {
+			if pw := asn.Of(w); pw != partition.None {
 				counts[pw]++
 			}
 		}
@@ -408,16 +460,16 @@ func (p *Partitioner) bestPartitions(v graph.VertexID, cur partition.ID) []parti
 			max = c
 		}
 	}
+	tied = tied[:0]
 	if counts[cur] == max {
-		return nil
+		return tied
 	}
-	p.tied = p.tied[:0]
 	for i, c := range counts {
 		if c == max {
-			p.tied = append(p.tied, partition.ID(i))
+			tied = append(tied, partition.ID(i))
 		}
 	}
-	return p.tied
+	return tied
 }
 
 // Run iterates until convergence (ConvergenceWindow quiet iterations) or

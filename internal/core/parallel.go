@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// This file implements the parallel form of the heuristic's iteration. The
+// per-vertex decision is embarrassingly parallel — each vertex inspects
+// only its own neighbourhood — so the sweep is sharded across
+// Config.Parallelism goroutines. Determinism is preserved for a fixed
+// shard count:
+//
+//   - Decide phase: each shard owns a contiguous range of vertex slots and
+//     its own RNG (seeded from Config.Seed + shard index), so coin flips
+//     and tie-break shuffles replay identically run to run.
+//
+//   - Grant phase: candidate requests claim per-pair quotas Q(i,j) from an
+//     atomic quota ledger. A claim only ever decrements row i = the
+//     vertex's current partition, so rows are distributed over the grant
+//     goroutines and each counter sees a single claimant processing its
+//     requests in a fixed order (shard-major, then slot order) — the
+//     outcome cannot depend on goroutine interleaving.
+//
+// Granted moves are applied simultaneously at the iteration barrier by
+// Step, exactly as in the sequential path, preserving the paper's BSP
+// semantics.
+
+// coreShard is the per-goroutine state of the parallel sweep.
+type coreShard struct {
+	rng       *rand.Rand
+	counts    []int
+	tied      []partition.ID
+	candBuf   []partition.ID // arena backing every request's candidate list
+	reqs      [][]shardReq   // migration requests grouped by source partition
+	requested int
+}
+
+// shardReq is one vertex's migration request: the shuffled tied-best
+// destinations live in the shard's candBuf at [off, off+n).
+type shardReq struct {
+	v   graph.VertexID
+	off int32
+	n   int32
+	w   int32 // quota units the move consumes (1, or degree when edge-balanced)
+}
+
+func newCoreShard(seed int64, idx, k int) *coreShard {
+	return &coreShard{
+		// Golden-ratio stride keeps the per-shard streams well separated
+		// while remaining a pure function of (seed, idx).
+		rng:    rand.New(rand.NewSource(seed + int64(idx+1)*0x9E3779B9)),
+		counts: make([]int, k),
+		reqs:   make([][]shardReq, k),
+	}
+}
+
+// decide runs the shard's share of the sweep: slots [lo, hi). It only
+// reads the graph and the assignment, so shards race on nothing.
+func (sh *coreShard) decide(p *Partitioner, lo, hi int, weight func(graph.VertexID) int) {
+	sh.requested = 0
+	sh.candBuf = sh.candBuf[:0]
+	for i := range sh.reqs {
+		sh.reqs[i] = sh.reqs[i][:0]
+	}
+	s := p.cfg.S
+	for id := lo; id < hi; id++ {
+		v := graph.VertexID(id)
+		if !p.g.Has(v) {
+			continue
+		}
+		if s < 1 && sh.rng.Float64() >= s {
+			continue // unwilling this iteration
+		}
+		cur := p.asn.Of(v)
+		sh.tied = bestPartitionsInto(p.g, p.asn, v, cur, sh.counts, sh.tied)
+		if len(sh.tied) == 0 {
+			continue // current partition is among the candidates: stay
+		}
+		sh.requested++
+		sh.rng.Shuffle(len(sh.tied), func(i, j int) { sh.tied[i], sh.tied[j] = sh.tied[j], sh.tied[i] })
+		off := int32(len(sh.candBuf))
+		sh.candBuf = append(sh.candBuf, sh.tied...)
+		sh.reqs[cur] = append(sh.reqs[cur], shardReq{v: v, off: off, n: int32(len(sh.tied)), w: int32(weight(v))})
+	}
+}
+
+// stepParallel runs one iteration's decide and grant phases across the
+// shards. Step has already filled p.quota from the free capacities at the
+// start of the iteration; stepParallel loads them into the atomic ledger,
+// fans out, and leaves the granted moves in p.moves for Step to apply at
+// the barrier. It returns the number of requests (post-coin, pre-quota).
+func (p *Partitioner) stepParallel(weight func(graph.VertexID) int) int {
+	k := p.cfg.K
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			p.ledger[i*k+j] = int64(p.quota[i][j])
+		}
+	}
+
+	// Decide: contiguous slot ranges, one per shard.
+	slots := p.g.NumSlots()
+	var wg sync.WaitGroup
+	for s, sh := range p.shards {
+		lo, hi := graph.ShardRange(s, p.par, slots)
+		wg.Add(1)
+		go func(sh *coreShard, lo, hi int) {
+			defer wg.Done()
+			sh.decide(p, lo, hi, weight)
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	requested := 0
+	for _, sh := range p.shards {
+		requested += sh.requested
+	}
+
+	// Grant: row g of the ledger is claimed only by goroutine g%G, in
+	// shard-major order — deterministic for a fixed shard count.
+	grantees := k
+	if p.par < grantees {
+		grantees = p.par
+	}
+	if p.grantBufs == nil {
+		p.grantBufs = make([][]move, 0, grantees)
+	}
+	for len(p.grantBufs) < grantees {
+		p.grantBufs = append(p.grantBufs, nil)
+	}
+	for gi := 0; gi < grantees; gi++ {
+		p.grantBufs[gi] = p.grantBufs[gi][:0]
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			p.grantRows(gi, grantees)
+		}(gi)
+	}
+	wg.Wait()
+	for gi := 0; gi < grantees; gi++ {
+		p.moves = append(p.moves, p.grantBufs[gi]...)
+	}
+	return requested
+}
+
+// grantRows claims quotas for every request whose source partition i
+// satisfies i % grantees == gi, appending granted moves to p.grantBufs[gi].
+func (p *Partitioner) grantRows(gi, grantees int) {
+	k := p.cfg.K
+	out := p.grantBufs[gi]
+	for i := gi; i < k; i += grantees {
+		from := partition.ID(i)
+		for _, sh := range p.shards {
+			for _, r := range sh.reqs[i] {
+				cands := sh.candBuf[r.off : r.off+r.n]
+				for _, dst := range cands {
+					if p.cfg.DisableQuotas {
+						out = append(out, move{v: r.v, from: from, to: dst})
+						break
+					}
+					idx := i*k + int(dst)
+					if atomic.AddInt64(&p.ledger[idx], -int64(r.w)) >= 0 {
+						out = append(out, move{v: r.v, from: from, to: dst})
+						break
+					}
+					// Restore the over-claim and try the next tied
+					// destination; no quota left anywhere means stay
+					// (worst-case capacity rule).
+					atomic.AddInt64(&p.ledger[idx], int64(r.w))
+				}
+			}
+		}
+	}
+	p.grantBufs[gi] = out
+}

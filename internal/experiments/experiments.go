@@ -31,6 +31,33 @@ type Options struct {
 	Seed int64
 	// Out receives the printed report; nil discards it.
 	Out io.Writer
+	// Parallelism shards the sequential heuristic's vertex sweep (the
+	// quality experiments) across this many goroutines. 0 keeps the
+	// paper-exact sequential path so figures reproduce byte-identically
+	// on any machine; set > 1 to trade that for wall-clock speed.
+	Parallelism int
+	// Workers is the number of compute goroutines per BSP engine (the
+	// system experiments). 0 keeps the paper's one-worker-per-partition
+	// setup; the simulated statistics are identical for any value.
+	Workers int
+}
+
+// coreParallelism resolves the shard count for core.Config.Parallelism:
+// the experiments default to the sequential path (see Options.Parallelism).
+func (o Options) coreParallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return 1
+}
+
+// bspWorkers resolves the engine worker count, defaulting to one worker
+// per partition (the paper's configuration).
+func (o Options) bspWorkers(k int) int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return k
 }
 
 // normalize fills defaults.

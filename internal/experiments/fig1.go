@@ -38,6 +38,7 @@ func Figure1(opt Options) (*Result, error) {
 				cfg := core.DefaultConfig(k, seed)
 				cfg.S = s
 				cfg.RecordEvery = 0
+				cfg.Parallelism = opt.coreParallelism()
 				p, err := core.New(g, partition.Hash(g, k), cfg)
 				if err != nil {
 					return nil, err

@@ -52,6 +52,7 @@ func Figure4(opt Options) (*Result, error) {
 				inits = append(inits, partition.CutRatio(g, asn))
 				cfg := core.DefaultConfig(k, seed)
 				cfg.RecordEvery = 0
+				cfg.Parallelism = opt.coreParallelism()
 				p, err := core.New(g, asn, cfg)
 				if err != nil {
 					return nil, err

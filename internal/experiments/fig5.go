@@ -38,6 +38,7 @@ func Figure5(opt Options) (*Result, error) {
 				}
 				cfg := core.DefaultConfig(k, seed)
 				cfg.RecordEvery = 0
+				cfg.Parallelism = opt.coreParallelism()
 				p, err := core.New(g, asn, cfg)
 				if err != nil {
 					return nil, err

@@ -41,6 +41,7 @@ func Figure6(opt Options) (*Result, error) {
 				cfg := core.DefaultConfig(k, seed)
 				cfg.S = 0.5
 				cfg.RecordEvery = 0
+				cfg.Parallelism = opt.coreParallelism()
 				p, err := core.New(g, partition.Hash(g, k), cfg)
 				if err != nil {
 					return nil, err

@@ -44,7 +44,7 @@ func Figure7(opt Options) (*Result, error) {
 
 	// Static-hash baseline for time normalisation.
 	gBase := gen.Cube3D(side)
-	eBase, err := bsp.NewEngine(gBase, partition.Hash(gBase, k), prog, bsp.Config{Workers: k, Seed: opt.Seed, Cost: cost})
+	eBase, err := bsp.NewEngine(gBase, partition.Hash(gBase, k), prog, bsp.Config{Workers: opt.bspWorkers(k), Seed: opt.Seed, Cost: cost})
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +58,7 @@ func Figure7(opt Options) (*Result, error) {
 	// Adaptive run.
 	g := gen.Cube3D(side)
 	e, err := bsp.NewEngine(g, partition.Hash(g, k), prog, bsp.Config{
-		Workers: k, Seed: opt.Seed, Cost: cost, RecordEvery: record,
+		Workers: opt.bspWorkers(k), Seed: opt.Seed, Cost: cost, RecordEvery: record,
 	})
 	if err != nil {
 		return nil, err

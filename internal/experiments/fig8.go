@@ -37,7 +37,7 @@ func Figure8(opt Options) (*Result, error) {
 		g := graph.NewDirected(cfg.Users)
 		asn := partition.NewAssignment(0, k)
 		e, err := bsp.NewEngine(g, asn, apps.NewTunkRank(), bsp.Config{
-			Workers: k, Seed: opt.Seed, CheckpointEvery: 12,
+			Workers: opt.bspWorkers(k), Seed: opt.Seed, CheckpointEvery: 12,
 		})
 		if err != nil {
 			return nil, nil, 0, err

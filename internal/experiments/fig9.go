@@ -49,7 +49,7 @@ func Figure9(opt Options) (*Result, error) {
 		stream := gen.NewCDRStream(cfg)
 		g := graph.NewUndirected(cfg.BaseUsers)
 		asn := partition.NewAssignment(0, k)
-		e, err := bsp.NewEngine(g, asn, apps.NewMaxClique(), bsp.Config{Workers: k, Seed: opt.Seed})
+		e, err := bsp.NewEngine(g, asn, apps.NewMaxClique(), bsp.Config{Workers: opt.bspWorkers(k), Seed: opt.Seed})
 		if err != nil {
 			return nil, err
 		}

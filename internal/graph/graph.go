@@ -409,6 +409,25 @@ func (g *Graph) CheckInvariants() error {
 	return nil
 }
 
+// ShardRange returns the half-open slot range [lo, hi) owned by shard i of
+// n when the table has the given number of slots: contiguous ceil(slots/n)
+// blocks, with trailing shards clamped (possibly empty). Both the BSP
+// engine's workers and the core heuristic's parallel sweep divide the
+// vertex table with it, so the two parallel paths can never disagree on
+// slot ownership.
+func ShardRange(i, n, slots int) (lo, hi int) {
+	per := (slots + n - 1) / n
+	lo = i * per
+	if lo > slots {
+		lo = slots
+	}
+	hi = lo + per
+	if hi > slots {
+		hi = slots
+	}
+	return lo, hi
+}
+
 func contains(list []VertexID, id VertexID) bool {
 	for _, x := range list {
 		if x == id {

@@ -39,9 +39,35 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	return bw.Flush()
 }
 
+// MaxReadVertexID bounds the vertex IDs the parsers accept. The vertex
+// table is dense — EnsureVertex materialises every slot up to the largest
+// ID — so an adversarial or corrupt file containing one huge ID would
+// otherwise allocate gigabytes before any error surfaced. 1<<24 caps the
+// worst-case table at a few hundred megabytes while covering every
+// dataset scale in the paper; files with larger ID spaces must be
+// renumbered first.
+const MaxReadVertexID = 1 << 24
+
+// parseVertexID parses one whitespace-separated vertex field, rejecting
+// non-numeric input, negative IDs and IDs above MaxReadVertexID.
+func parseVertexID(field string) (VertexID, error) {
+	id, err := strconv.ParseInt(field, 10, 64)
+	if err != nil {
+		return NoVertex, fmt.Errorf("parse %q: %w", field, err)
+	}
+	if id < 0 {
+		return NoVertex, fmt.Errorf("vertex id %d is negative", id)
+	}
+	if id > MaxReadVertexID {
+		return NoVertex, fmt.Errorf("vertex id %d exceeds the supported maximum %d", id, MaxReadVertexID)
+	}
+	return VertexID(id), nil
+}
+
 // ReadEdgeList parses the edge-list format produced by WriteEdgeList (and
 // by SNAP datasets). Lines starting with '#' are ignored; vertices are
-// created on first reference.
+// created on first reference. Malformed fields, negative IDs and IDs above
+// MaxReadVertexID are errors, never panics.
 func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	var g *Graph
 	if directed {
@@ -59,20 +85,20 @@ func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		u, err := strconv.ParseInt(fields[0], 10, 32)
+		u, err := parseVertexID(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("edge list line %d: parse %q: %w", lineNo, fields[0], err)
+			return nil, fmt.Errorf("edge list line %d: %w", lineNo, err)
 		}
-		g.EnsureVertex(VertexID(u))
+		g.EnsureVertex(u)
 		if len(fields) == 1 {
 			continue
 		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
+		v, err := parseVertexID(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("edge list line %d: parse %q: %w", lineNo, fields[1], err)
+			return nil, fmt.Errorf("edge list line %d: %w", lineNo, err)
 		}
-		g.EnsureVertex(VertexID(v))
-		g.AddEdge(VertexID(u), VertexID(v))
+		g.EnsureVertex(v)
+		g.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("edge list scan: %w", err)

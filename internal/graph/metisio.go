@@ -61,6 +61,9 @@ func ReadMetis(r io.Reader) (*Graph, error) {
 	if err != nil || n < 0 {
 		return nil, fmt.Errorf("metis: bad vertex count %q", header[0])
 	}
+	if n > MaxReadVertexID {
+		return nil, fmt.Errorf("metis: vertex count %d exceeds the supported maximum %d", n, MaxReadVertexID)
+	}
 	m, err := strconv.Atoi(header[1])
 	if err != nil || m < 0 {
 		return nil, fmt.Errorf("metis: bad edge count %q", header[1])
