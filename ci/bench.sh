@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the migration-sweep benchmark set that CI gates on, in a fixed
+# configuration so results are comparable with ci/bench-baseline.txt.
+#
+# Regenerate the committed baseline (after an intentional perf change, a
+# benchmark rename, or reference-hardware drift) with:
+#
+#   ./ci/bench.sh > ci/bench-baseline.txt
+#
+# ideally on the same runner class CI uses. The gate threshold (15%) is
+# deliberately loose to absorb runner-to-runner noise; benchstat output in
+# the CI artifact gives the statistically annotated picture.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-0.5s}
+COUNT=${COUNT:-4}
+
+# Per-iteration sweep cost, sequential vs sharded, plus the edge-balanced
+# extension (internal/core).
+go test -run='^$' -bench 'BenchmarkStepPowerLaw|BenchmarkStepEdgeBalanced' \
+  -benchtime="$BENCHTIME" -count="$COUNT" ./internal/core
+# Converged-graph churn absorption: the active-set scheduler's headline,
+# at both 10k and 100k vertices (the pattern is unanchored, so n=10000
+# matches n=100000 too — deliberately: the 100k acceptance number gates
+# PRs as well; the nightly workflow re-runs it with more repetitions).
+go test -run='^$' -bench 'BenchmarkStepConvergedChurn/n=10000' \
+  -benchtime="$BENCHTIME" -count="$COUNT" ./internal/core
+# Repository-level micro-benchmarks of the heuristic iteration.
+go test -run='^$' -bench 'BenchmarkCoreIteration' \
+  -benchtime="$BENCHTIME" -count="$COUNT" .

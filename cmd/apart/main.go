@@ -48,6 +48,7 @@ func run(args []string) error {
 		maxIter   = fs.Int("max-iterations", 5000, "iteration bound")
 		seed      = fs.Int64("seed", 1, "random seed")
 		parallel  = fs.Int("parallel", 0, "shards for the iterative sweep (0 = one per CPU, 1 = sequential)")
+		increment = fs.Bool("incremental", false, "active-set scheduler: re-examine only vertices whose inputs changed (full sweep when off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +88,7 @@ func run(args []string) error {
 		cfg.MaxIterations = *maxIter
 		cfg.RecordEvery = 0
 		cfg.Parallelism = *parallel
+		cfg.Incremental = *increment
 		p, err := core.New(work, asn, cfg)
 		if err != nil {
 			return err
@@ -95,6 +97,9 @@ func run(args []string) error {
 		mode := fmt.Sprintf("%d shards", p.Parallelism())
 		if p.Parallelism() == 1 {
 			mode = "sequential"
+		}
+		if *increment {
+			mode += ", incremental"
 		}
 		fmt.Printf("iterative (%s): cut ratio %.4f, imbalance %.3f, converged at iteration %d (%d migrations)\n",
 			mode, res.FinalCutRatio, partition.Imbalance(p.Assignment()), res.ConvergedAt, res.TotalMigrations)

@@ -56,3 +56,10 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunIncremental(t *testing.T) {
+	err := run([]string{"-dataset", "plc1000", "-k", "4", "-initial", "HSH", "-max-iterations", "200", "-incremental"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

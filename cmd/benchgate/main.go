@@ -1,0 +1,166 @@
+// Command benchgate compares two `go test -bench` outputs and fails when
+// any benchmark matching a pattern slowed down beyond a threshold. CI runs
+// it against the committed baseline (ci/bench-baseline.txt) to keep the
+// migration-sweep hot path from regressing unnoticed; benchstat renders
+// the human-readable report alongside.
+//
+//	benchgate -baseline ci/bench-baseline.txt -current new.txt \
+//	          -threshold 1.15 -match 'StepPowerLaw|StepConvergedChurn'
+//
+// For every benchmark name present in both files, the minimum ns/op
+// across repetitions is compared (the minimum is the least noisy estimate
+// of the true cost — anything above it is scheduling jitter). Benchmarks
+// matching -match that are present in the baseline but missing from the
+// current run also fail the gate: a gated benchmark must not silently
+// disappear. Regenerate the baseline with ci/bench.sh when the benchmark
+// set or the reference hardware changes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baseline  = fs.String("baseline", "", "baseline benchmark output file")
+		current   = fs.String("current", "", "current benchmark output file")
+		threshold = fs.Float64("threshold", 1.15, "maximum allowed current/baseline ns/op ratio")
+		match     = fs.String("match", ".", "regexp selecting the gated benchmarks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *current == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	if *threshold <= 1 {
+		return fmt.Errorf("threshold must be > 1, got %g", *threshold)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return fmt.Errorf("bad -match: %w", err)
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("no benchmark results in %s", *baseline)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions, missing []string
+	fmt.Fprintf(out, "%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ratio")
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		b := min(base[name])
+		c, ok := cur[name]
+		if !ok {
+			missing = append(missing, name)
+			fmt.Fprintf(out, "%-60s %14.0f %14s %8s\n", name, b, "MISSING", "-")
+			continue
+		}
+		cm := min(c)
+		ratio := cm / b
+		marker := ""
+		if ratio > *threshold {
+			regressions = append(regressions, name)
+			marker = "  << REGRESSION"
+		}
+		fmt.Fprintf(out, "%-60s %14.0f %14.0f %7.2fx%s\n", name, b, cm, ratio, marker)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) missing from current run: %s",
+			len(missing), strings.Join(missing, ", "))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) slower than %.0f%% of baseline: %s",
+			len(regressions), *threshold*100, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintln(out, "benchgate: OK")
+	return nil
+}
+
+// parseFile reads `go test -bench` output: every "BenchmarkName ... N ns/op"
+// line contributes one ns/op sample under the name with the GOMAXPROCS
+// suffix stripped, so repetitions (-count) accumulate per benchmark.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], ns)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine extracts (name, ns/op) from one benchmark result line, if it
+// is one.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix (Benchmark.../sub-4 -> Benchmark.../sub)
+	// so baselines survive runner core-count changes.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil || ns <= 0 {
+				return "", 0, false
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+BenchmarkStepPowerLaw/seq-4         	     100	   1000000 ns/op
+BenchmarkStepPowerLaw/seq-4         	     100	   1050000 ns/op
+BenchmarkStepPowerLaw/P=4-4         	     300	    400000 ns/op
+BenchmarkOther-4                    	     500	     20000 ns/op	  12 extra/metric
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseLine(t *testing.T) {
+	name, ns, ok := parseLine("BenchmarkStepPowerLaw/seq-8 \t 100 \t 123456 ns/op \t 5 examined")
+	if !ok || name != "BenchmarkStepPowerLaw/seq" || ns != 123456 {
+		t.Fatalf("got %q %g %t", name, ns, ok)
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Fatal("PASS line must not parse")
+	}
+	if _, _, ok := parseLine("goos: linux"); ok {
+		t.Fatal("header line must not parse")
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	cur := strings.ReplaceAll(baseOut, "1000000", "1100000") // +10%
+	b := writeTemp(t, "base.txt", baseOut)
+	c := writeTemp(t, "cur.txt", cur)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", b, "-current", c, "-threshold", "1.15"}, &sb); err != nil {
+		t.Fatalf("within-threshold run failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	cur := strings.ReplaceAll(baseOut, "400000", "600000") // +50% on P=4
+	b := writeTemp(t, "base.txt", baseOut)
+	c := writeTemp(t, "cur.txt", cur)
+	var sb strings.Builder
+	err := run([]string{"-baseline", b, "-current", c, "-threshold", "1.15"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "StepPowerLaw/P=4") {
+		t.Fatalf("expected P=4 regression failure, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report missing marker:\n%s", sb.String())
+	}
+}
+
+func TestGateIgnoresUnmatchedBenchmarks(t *testing.T) {
+	cur := strings.ReplaceAll(baseOut, "20000 ns/op", "90000 ns/op") // huge, but unmatched
+	b := writeTemp(t, "base.txt", baseOut)
+	c := writeTemp(t, "cur.txt", cur)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", b, "-current", c, "-match", "StepPowerLaw"}, &sb); err != nil {
+		t.Fatalf("unmatched benchmark must not gate: %v", err)
+	}
+}
+
+func TestGateFailsOnMissingGatedBenchmark(t *testing.T) {
+	cur := strings.ReplaceAll(baseOut, "BenchmarkStepPowerLaw/P=4-4", "BenchmarkRenamed-4")
+	b := writeTemp(t, "base.txt", baseOut)
+	c := writeTemp(t, "cur.txt", cur)
+	var sb strings.Builder
+	err := run([]string{"-baseline", b, "-current", c, "-match", "StepPowerLaw"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("expected missing-benchmark failure, got %v", err)
+	}
+}
+
+func TestUsesMinAcrossRepetitions(t *testing.T) {
+	// Baseline min is 1000000; a current pair (1900000, 1010000) must
+	// pass: the minimum discards the noisy sample.
+	cur := "BenchmarkStepPowerLaw/seq-4 100 1900000 ns/op\nBenchmarkStepPowerLaw/seq-4 100 1010000 ns/op\n" +
+		"BenchmarkStepPowerLaw/P=4-4 300 400000 ns/op\nBenchmarkOther-4 500 20000 ns/op\n"
+	b := writeTemp(t, "base.txt", baseOut)
+	c := writeTemp(t, "cur.txt", cur)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", b, "-current", c}, &sb); err != nil {
+		t.Fatalf("min-of-reps run failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	b := writeTemp(t, "base.txt", baseOut)
+	if err := run([]string{"-baseline", b}, &strings.Builder{}); err == nil {
+		t.Fatal("missing -current must error")
+	}
+	if err := run([]string{"-baseline", b, "-current", b, "-threshold", "0.9"}, &strings.Builder{}); err == nil {
+		t.Fatal("threshold <= 1 must error")
+	}
+	if err := run([]string{"-baseline", b, "-current", b, "-match", "("}, &strings.Builder{}); err == nil {
+		t.Fatal("bad regexp must error")
+	}
+}

@@ -36,6 +36,7 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		parallel = fs.Int("parallel", 0, "shards for the quality experiments' vertex sweep (0 = paper-exact sequential)")
 		workers  = fs.Int("workers", 0, "compute goroutines per BSP engine (0 = one per partition)")
+		increm   = fs.Bool("incremental", false, "active-set scheduler for the heuristic and the BSP service (full sweep when off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,7 +49,7 @@ func run(args []string) error {
 	}
 	opt := experiments.Options{
 		Quick: *quick, Reps: *reps, Seed: *seed, Out: os.Stdout,
-		Parallelism: *parallel, Workers: *workers,
+		Parallelism: *parallel, Workers: *workers, Incremental: *increm,
 	}
 	ids := []string{*runID}
 	if *runID == "all" {

@@ -19,3 +19,9 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatal("expected error for unknown experiment")
 	}
 }
+
+func TestRunQuickIncremental(t *testing.T) {
+	if err := run([]string{"-run", "fig7", "-quick", "-incremental"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"xdgp/internal/activeset"
 	"xdgp/internal/bsp"
 	"xdgp/internal/graph"
 	"xdgp/internal/partition"
@@ -45,6 +46,23 @@ type Config struct {
 	// previous superstep advertise proportionally less free capacity, so
 	// migration pressure drains towards cool workers.
 	HotSpotAware bool
+	// Incremental enables the active-set scheduler: a Plan pass examines
+	// only vertices whose decision inputs could have changed — vertices
+	// the barrier's mutation batch touched (View.MutatedVertices),
+	// neighbours of vertices the service migrated (their Γ-counts shift
+	// when the addressing changes), vertices that have not finished
+	// deciding (failed the S coin, denied a quota that in-pass
+	// competition exhausted, or still inside the deferred-migration
+	// window), and — with HotSpotAware — every vertex of a partition
+	// measuring hotter than the mean, since the hot-spot drain is driven
+	// by load, not topology. Requesters every advertised quota column
+	// rejects outright are parked per destination and re-woken when that
+	// column turns positive (the delayed capacity view is re-derived
+	// every pass, so graph growth, departures and hot-spot relaxation
+	// all surface there). Steady-state Plan cost is proportional to
+	// churn instead of |V|. Off by default (full sweep, the paper-exact
+	// reference).
+	Incremental bool
 	// Seed drives the move coins and tie-breaks.
 	Seed int64
 }
@@ -69,9 +87,20 @@ type Service struct {
 	tied   []partition.ID
 	quota  [][]int
 
+	// Active-set scheduler state (Config.Incremental): active holds the
+	// frontier/parking bookkeeping shared with internal/core, colQuota
+	// the planning-pass per-pair quota by destination column (the
+	// competition-free admission bound parking decisions test against).
+	// seeded flips after the first Plan populates the frontier with
+	// every live vertex.
+	active   *activeset.Set
+	colQuota []int
+	seeded   bool
+
 	// Totals for reporting.
 	totalRequested int
 	totalGranted   int
+	totalExamined  int
 }
 
 // New creates the service. It returns an error for invalid configuration.
@@ -98,9 +127,45 @@ func (s *Service) TotalRequested() int { return s.totalRequested }
 // TotalGranted returns how many requests passed quota admission.
 func (s *Service) TotalGranted() int { return s.totalGranted }
 
+// TotalExamined returns how many per-vertex decisions the service has
+// evaluated over its lifetime: |V| per pass on a full sweep, the active
+// set when incremental — the denominator of the scheduler's win.
+func (s *Service) TotalExamined() int { return s.totalExamined }
+
+// DirtyCount returns the current size of the active set (0 when the
+// scheduler is idle or Incremental is off).
+func (s *Service) DirtyCount() int {
+	if s.active == nil {
+		return 0
+	}
+	return s.active.Len()
+}
+
+// ensureActive lazily builds the scheduler state (k is only known once a
+// View arrives) and sizes it to the engine's vertex table.
+func (s *Service) ensureActive(k, slots int) {
+	if s.active == nil {
+		s.active = activeset.New(k)
+		s.colQuota = make([]int, k)
+	}
+	s.active.Grow(slots)
+}
+
 // Plan implements bsp.Repartitioner. It runs each worker's local decision
 // pass and returns the granted migration requests.
 func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
+	g := view.Graph()
+	if s.cfg.Incremental {
+		// Collect this barrier's mutation notices even on supersteps the
+		// Interval skips — the engine resets them every superstep, and a
+		// wake lost here would never be re-delivered.
+		s.ensureActive(view.K(), g.NumSlots())
+		for _, v := range view.MutatedVertices() {
+			if g.Has(v) {
+				s.active.Mark(v)
+			}
+		}
+	}
 	if view.Superstep()%s.cfg.Interval != 0 {
 		return nil
 	}
@@ -108,7 +173,6 @@ func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
 	if k < 2 {
 		return nil
 	}
-	g := view.Graph()
 	addr := view.Addr()
 	caps := partition.UniformCapacities(g.NumVertices(), k, s.cfg.CapacityFactor)
 
@@ -157,6 +221,9 @@ func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
 		for i := 0; i < k; i++ {
 			s.quota[i][j] = q
 		}
+		if s.colQuota != nil {
+			s.colQuota[j] = q
+		}
 	}
 
 	// Hotness per partition: fractional overload vs the mean measured
@@ -175,25 +242,42 @@ func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
 	var reqs []bsp.MigrationRequest
 	granted := make([]int, k)  // inbound grants per partition
 	departed := make([]int, k) // outbound grants per partition
-	g.ForEachVertex(func(v graph.VertexID) {
+
+	// decide evaluates one vertex and reports whether an incremental
+	// schedule must keep it on the frontier: vertices that have not
+	// finished deciding (inside the migration window, failed the S coin,
+	// or denied a quota that in-pass competition exhausted) stay;
+	// vertices that settled or migrated leave (a mover's wake re-marks
+	// its neighbourhood below), and hard-denied requesters — every
+	// tied-best destination advertising zero quota before any competitor
+	// claimed it — park until that capacity shifts (planIncremental
+	// unparks every destination whose column quota turns positive).
+	decide := func(v graph.VertexID) (keep bool) {
+		s.totalExamined++
 		cur := addr.Of(v)
-		if cur == partition.None || view.Migrating(v) {
-			return
+		if cur == partition.None {
+			return false
+		}
+		if view.Migrating(v) {
+			return true // mid-window: revisit once the move completes
 		}
 		if s.cfg.S < 1 && s.rng.Float64() >= s.cfg.S {
-			return
+			return true // unwilling this pass: stays scheduled
 		}
 		best := s.bestPartitions(g, addr, v, cur)
 		if best == nil {
 			if hotness[cur] == 0 || s.rng.Float64() >= hotness[cur] {
-				return
+				// Settled. While cur stays hot the hot-spot wake below
+				// re-schedules the whole partition, so dropping here is
+				// safe even when only the drain coin declined.
+				return false
 			}
 			// Hot-spot drain: staying is locally optimal for the cut,
 			// but the partition is overloaded — fall back to the best
 			// destinations among the other partitions.
 			best = s.bestOtherPartitions(g, addr, v, cur)
 			if best == nil {
-				return
+				return false
 			}
 		}
 		s.totalRequested++
@@ -205,10 +289,46 @@ func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
 				granted[dst]++
 				departed[cur]++
 				s.totalGranted++
-				break
+				return false // mover: its wake re-marks the neighbourhood
 			}
 		}
-	})
+		if s.active != nil {
+			hard := true
+			for _, dst := range best {
+				if s.colQuota[dst] > 0 {
+					hard = false
+					break
+				}
+			}
+			if hard {
+				s.active.Park(v, best)
+				return false
+			}
+		}
+		return true // competition-denied: the odds change next pass
+	}
+
+	if !s.cfg.Incremental {
+		g.ForEachVertex(func(v graph.VertexID) { decide(v) })
+	} else {
+		s.planIncremental(g, addr, hotness, decide)
+	}
+
+	if s.cfg.Incremental {
+		// The engine rewrites the addressing of every granted vertex at
+		// this barrier, so the movers' neighbours see new Γ-counts on the
+		// next pass: re-wake them (and the mover, which re-settles).
+		// Departures also free capacity in the mover's source partition,
+		// so vertices parked on it get another chance.
+		for _, r := range reqs {
+			s.active.MarkNeighborhood(g, r.V)
+		}
+		for j := 0; j < k; j++ {
+			if departed[j] > 0 {
+				s.active.UnparkDest(partition.ID(j))
+			}
+		}
+	}
 
 	// Broadcast predicted capacities for the next superstep:
 	// C^{t+1}(i) = C^t(i) − V_in + V_out applied to the free view.
@@ -216,6 +336,53 @@ func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
 		s.knownFree[j] = caps[j] - (sizes[j] + granted[j] - departed[j])
 	}
 	return reqs
+}
+
+// planIncremental runs the decision pass over the active set only. The
+// frontier is seeded with every live vertex on the first pass and woken
+// by: the barrier's mutation notices (collected in Plan); any
+// destination whose column quota turned positive — the capacity-shift
+// event hard-parked requesters wait on, covering graph growth, migration
+// departures and hot-spot scaling alike, since the delayed capacity view
+// is re-derived every pass; and — when the hot-spot extension measures
+// an overloaded partition — every vertex of that partition (load
+// pressure is global, so the drain cannot be frontier-local). The
+// frontier is drained in ascending vertex-ID order for deterministic RNG
+// replay. decide's verdict keeps a vertex scheduled, settles it, or (for
+// hard denials) parks it inside decide itself.
+func (s *Service) planIncremental(g *graph.Graph, addr *partition.Assignment, hotness []float64, decide func(graph.VertexID) bool) {
+	if !s.seeded {
+		g.ForEachVertex(s.active.Mark)
+		s.seeded = true
+	}
+	for j, q := range s.colQuota {
+		if q > 0 {
+			s.active.UnparkDest(partition.ID(j))
+		}
+	}
+	anyHot := false
+	for _, h := range hotness {
+		if h > 0 {
+			anyHot = true
+			break
+		}
+	}
+	if anyHot {
+		g.ForEachVertex(func(v graph.VertexID) {
+			if p := addr.Of(v); p != partition.None && hotness[p] > 0 {
+				s.active.Mark(v)
+			}
+		})
+	}
+
+	for _, v := range s.active.Prepare(g.Has) {
+		if decide(v) {
+			s.active.Keep(v)
+		} else {
+			s.active.Unschedule(v)
+		}
+	}
+	s.active.Commit()
 }
 
 // bestPartitions mirrors core's greedy rule: argmax over |Γ(v) ∩ P(i)|

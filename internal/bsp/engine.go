@@ -83,9 +83,27 @@ func (v *View) Migrating(id graph.VertexID) bool {
 // whose barrier is executing — the runtime hot-spot statistics the paper's
 // second future-work extension feeds back into balancing. (The paper hosts
 // one partition per physical worker, hence the name; compute goroutines do
-// not appear in the cost model.) The slice is indexed by partition ID, is
-// owned by the engine and must not be mutated.
-func (v *View) WorkerCosts() []float64 { return v.e.lastCosts }
+// not appear in the cost model.) The slice is indexed by partition ID and
+// is the caller's to keep: it is copied out of the engine.
+func (v *View) WorkerCosts() []float64 {
+	if v.e.lastCosts == nil {
+		return nil
+	}
+	return append([]float64(nil), v.e.lastCosts...)
+}
+
+// MutatedVertices returns the vertices touched by the mutation batch
+// applied at this barrier (added vertices, endpoints of added/removed
+// edges, and the ex-neighbours of removed vertices) — the change notices
+// an incremental repartitioner seeds its active set from. The slice may
+// contain duplicates and IDs that are no longer live; it is the caller's
+// to keep. Empty when the barrier applied no mutations.
+func (v *View) MutatedVertices() []graph.VertexID {
+	if len(v.e.lastMutated) == 0 {
+		return nil
+	}
+	return append([]graph.VertexID(nil), v.e.lastMutated...)
+}
 
 type outMsg struct {
 	dst graph.VertexID
@@ -219,6 +237,7 @@ type Engine struct {
 	costPerVertex float64
 	msgsInFlight  int
 	lastCosts     []float64 // per-worker cost of the last superstep
+	lastMutated   []graph.VertexID
 	history       []SuperstepStats
 
 	cp     *checkpoint
@@ -328,8 +347,11 @@ func (e *Engine) Value(v graph.VertexID) any {
 // RunSuperstep).
 func (e *Engine) Aggregated(name string) float64 { return e.aggregated[name] }
 
-// History returns the stats of every executed superstep.
-func (e *Engine) History() []SuperstepStats { return e.history }
+// History returns the stats of every executed superstep. The slice is the
+// caller's to keep: it is copied out of the engine.
+func (e *Engine) History() []SuperstepStats {
+	return append([]SuperstepStats(nil), e.history...)
+}
 
 // ScheduleFailure makes the barrier of the given superstep simulate a
 // worker crash: the engine rolls back to its last checkpoint (Pregel-style
@@ -442,7 +464,9 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 		}
 	}
 
-	// 3. Apply the stream's mutation batch.
+	// 3. Apply the stream's mutation batch, recording the touched
+	// vertices for View.MutatedVertices.
+	e.lastMutated = e.lastMutated[:0]
 	if e.stream != nil && !e.stream.Done() {
 		st.Mutations = e.applyBatch(e.stream.Next())
 	}
@@ -575,7 +599,9 @@ func (e *Engine) applyBatch(b graph.Batch) int {
 	if len(b) == 0 {
 		return 0
 	}
-	applied := e.g.Apply(b)
+	applied := e.g.ApplyTouched(b, func(v graph.VertexID) {
+		e.lastMutated = append(e.lastMutated, v)
+	})
 	if applied == 0 {
 		return 0
 	}

@@ -515,3 +515,129 @@ func TestStreamVertexWithCustomPlacer(t *testing.T) {
 		t.Fatalf("custom placer ignored: vertex placed at %d", e.Addr().Of(next))
 	}
 }
+
+func TestRemovalOfVertexWithPendingMigration(t *testing.T) {
+	// Decide a migration for vertex 0, then remove it from the stream at
+	// the very barrier where the physical move would complete: the engine
+	// must retire the vertex, drop the pending move, and stay consistent.
+	g := pairGraph()
+	e := newTestEngine(t, g, 2, &echoProgram{rounds: 10}, Config{Seed: 1})
+	target := partition.ID(1 - int(e.Addr().Of(0)))
+	e.SetRepartitioner(repartFunc(func(v *View) []MigrationRequest {
+		if v.Superstep() == 0 {
+			return []MigrationRequest{{V: 0, To: target}}
+		}
+		return nil
+	}))
+	e.SetStream(graph.NewSliceStream([]graph.Batch{
+		nil,                                   // superstep 0: migration decided at this barrier
+		{{Kind: graph.MutRemoveVertex, U: 0}}, // superstep 1: removal races the move
+	}))
+	st0 := e.RunSuperstep()
+	if st0.MigrationsStarted != 1 {
+		t.Fatalf("MigrationsStarted = %d, want 1", st0.MigrationsStarted)
+	}
+	e.RunSuperstep() // completes the physical move, then applies the removal
+	if e.Graph().Has(0) {
+		t.Fatal("vertex 0 must be removed")
+	}
+	if e.Addr().Of(0) != partition.None {
+		t.Fatal("removed vertex still addressed")
+	}
+	if len(e.pendingHome) != 0 {
+		t.Fatalf("pending migrations leaked: %v", e.pendingHome)
+	}
+	if err := e.Addr().Validate(e.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	// The engine must keep running cleanly afterwards.
+	for i := 0; i < 5; i++ {
+		e.RunSuperstep()
+	}
+	if err := e.Addr().Validate(e.Graph()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewMutatedVertices(t *testing.T) {
+	g := pairGraph()
+	next := graph.VertexID(g.NumSlots())
+	e := newTestEngine(t, g, 2, &echoProgram{rounds: 4}, Config{Seed: 1})
+	e.SetStream(graph.NewSliceStream([]graph.Batch{
+		{{Kind: graph.MutAddVertex, U: next}, {Kind: graph.MutAddEdge, U: next, V: 0}},
+		nil,
+	}))
+	var got [][]graph.VertexID
+	e.SetRepartitioner(repartFunc(func(v *View) []MigrationRequest {
+		got = append(got, v.MutatedVertices())
+		return nil
+	}))
+	e.RunSuperstep()
+	e.RunSuperstep()
+	if len(got) != 2 {
+		t.Fatalf("planned %d times, want 2", len(got))
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, v := range got[0] {
+		seen[v] = true
+	}
+	if !seen[next] || !seen[0] {
+		t.Fatalf("batch touched %v, want both %d and 0", got[0], next)
+	}
+	if got[1] != nil {
+		t.Fatalf("empty barrier reported mutations: %v", got[1])
+	}
+}
+
+func TestAccessorsReturnDefensiveCopies(t *testing.T) {
+	g := gen.Cube3D(4)
+	e := newTestEngine(t, g, 4, &echoProgram{rounds: 6}, Config{Seed: 1})
+	var costsInPlan []float64
+	e.SetRepartitioner(repartFunc(func(v *View) []MigrationRequest {
+		costsInPlan = v.WorkerCosts()
+		return nil
+	}))
+	e.RunSuperstep()
+	e.RunSuperstep()
+	if len(costsInPlan) != 4 {
+		t.Fatalf("WorkerCosts len = %d, want 4", len(costsInPlan))
+	}
+	costsInPlan[0] = -12345
+	if e.lastCosts[0] == -12345 {
+		t.Fatal("WorkerCosts leaked the engine's internal slice")
+	}
+
+	hist := e.History()
+	if len(hist) != 2 {
+		t.Fatalf("History len = %d, want 2", len(hist))
+	}
+	hist[0].Superstep = -1
+	if e.history[0].Superstep == -1 {
+		t.Fatal("History leaked the engine's internal slice")
+	}
+}
+
+func TestStreamSelfLoopStillPlacesVertex(t *testing.T) {
+	// Regression: a rejected self-loop edge on a fresh ID materialises a
+	// live vertex at the barrier; the engine must still place and
+	// initialise it.
+	g := pairGraph()
+	loop := graph.VertexID(g.NumSlots())
+	e := newTestEngine(t, g, 2, &echoProgram{rounds: 2}, Config{Seed: 1})
+	e.SetStream(graph.NewSliceStream([]graph.Batch{
+		{{Kind: graph.MutAddEdge, U: loop, V: loop}},
+	}))
+	e.RunSuperstep()
+	if !e.Graph().Has(loop) {
+		t.Fatal("self-loop endpoint not created")
+	}
+	if e.Addr().Of(loop) == partition.None {
+		t.Fatal("self-loop vertex not placed")
+	}
+	if e.Value(loop) == nil {
+		t.Fatal("self-loop vertex not initialised")
+	}
+	if err := e.Addr().Validate(e.Graph()); err != nil {
+		t.Fatal(err)
+	}
+}

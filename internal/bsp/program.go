@@ -74,12 +74,15 @@ func (c *VertexContext) SetValue(v any) { c.engine.values[c.id] = v }
 // Degree returns the vertex's out-degree.
 func (c *VertexContext) Degree() int { return c.engine.g.Degree(c.id) }
 
-// Neighbors returns the vertex's out-neighbours. The slice is owned by the
-// engine's graph and must not be mutated or retained.
+// Neighbors returns the vertex's out-neighbours. Deliberately zero-copy —
+// it is called once per vertex per superstep, the engine's hottest read —
+// so unlike the engine's barrier-time accessors (WorkerCosts, History,
+// MutatedVertices) the slice is owned by the engine's graph and must not
+// be mutated or retained.
 func (c *VertexContext) Neighbors() []graph.VertexID { return c.engine.g.Neighbors(c.id) }
 
 // InNeighbors returns the vertex's in-neighbours (same as Neighbors on
-// undirected graphs).
+// undirected graphs). Zero-copy, same contract as Neighbors.
 func (c *VertexContext) InNeighbors() []graph.VertexID { return c.engine.g.InNeighbors(c.id) }
 
 // SendTo sends a message to the given vertex, for delivery next superstep.

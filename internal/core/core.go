@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"xdgp/internal/activeset"
 	"xdgp/internal/graph"
 	"xdgp/internal/partition"
 )
@@ -58,6 +59,19 @@ type Config struct {
 	// count but differ between shard counts, because each shard consumes
 	// its own random stream.
 	Parallelism int
+	// Incremental enables the active-set (frontier) scheduler: an
+	// iteration re-examines only vertices whose decision inputs could
+	// have changed — vertices touched by mutations (and their
+	// neighbourhoods), neighbours of granted movers, and vertices that
+	// have not finished deciding (failed the S coin or were quota-denied).
+	// Steady-state iteration cost becomes proportional to churn instead
+	// of |V|. Off by default: the full sweep re-examines every vertex
+	// every iteration and remains the paper-exact reference path. The
+	// incremental schedule visits vertices in a different order, so runs
+	// are deterministic per (Seed, Parallelism, Incremental) but differ
+	// numerically from full-sweep runs; quality and every capacity/quota
+	// invariant are preserved (see incremental_test.go).
+	Incremental bool
 	// RecordEvery controls how often per-iteration cut statistics are
 	// computed: every n iterations (n ≥ 1), or only on demand when 0.
 	// Migration counts are always recorded.
@@ -122,6 +136,7 @@ func (c *Config) validate() error {
 // and time-per-iteration curves are built from them).
 type IterationStats struct {
 	Iteration  int
+	Examined   int // vertices whose decision was evaluated (|V| on a full sweep, the active set when incremental)
 	Requested  int // vertices that passed the S coin and wanted to move
 	Migrations int // granted and applied moves
 	CutEdges   int // -1 when not recorded this iteration
@@ -174,6 +189,14 @@ type Partitioner struct {
 	shards    []*coreShard
 	ledger    []int64
 	grantBufs [][]move
+	// Active-set scheduler state (Config.Incremental): active holds the
+	// frontier/parking bookkeeping shared with internal/adaptive,
+	// touchScratch buffers the per-batch mutation notices, and quotaCol
+	// is the iteration-start per-pair quota by destination column — the
+	// competition-free admission bound parking decisions test against.
+	active       *activeset.Set
+	touchScratch []graph.VertexID
+	quotaCol     []int
 }
 
 type move struct {
@@ -217,6 +240,14 @@ func New(g *graph.Graph, asn *partition.Assignment, cfg Config) (*Partitioner, e
 		p.ledger = make([]int64, cfg.K*cfg.K)
 	}
 	p.recomputeCapacities()
+	if cfg.Incremental {
+		p.quotaCol = make([]int, cfg.K)
+		// Seed the frontier with every live vertex — the initial state,
+		// equivalent to a full sweep until the first vertices settle.
+		p.active = activeset.New(cfg.K)
+		p.active.Grow(g.NumSlots())
+		g.ForEachVertex(p.active.Mark)
+	}
 	return p, nil
 }
 
@@ -258,7 +289,16 @@ func (p *Partitioner) ApplyBatch(b graph.Batch) int {
 			removedCandidates = append(removedCandidates, mu.U)
 		}
 	}
-	applied := p.g.Apply(b)
+	// In incremental mode the graph reports every vertex the batch
+	// touched; these seed the active set (together with their live
+	// neighbourhoods, below) so the next Step examines exactly the
+	// region of change.
+	var touched func(graph.VertexID)
+	if p.cfg.Incremental {
+		p.touchScratch = p.touchScratch[:0]
+		touched = func(v graph.VertexID) { p.touchScratch = append(p.touchScratch, v) }
+	}
+	applied := p.g.ApplyTouched(b, touched)
 	if applied == 0 {
 		return 0
 	}
@@ -279,6 +319,22 @@ func (p *Partitioner) ApplyBatch(b graph.Batch) int {
 		}
 	}
 	p.recomputeCapacities()
+	if p.cfg.Incremental {
+		p.active.Grow(p.g.NumSlots())
+		// The touched set already covers every vertex whose Γ changed:
+		// an edge mutation changes only its endpoints' neighbourhoods,
+		// and a removal reports the removed vertex's neighbours. Marking
+		// exactly that set keeps the wake proportional to the batch.
+		for _, v := range p.touchScratch {
+			if p.g.Has(v) {
+				p.active.Mark(v)
+			}
+		}
+		// Capacities were just re-derived from the new |V| (or degree
+		// totals), which can raise any destination's quota: every parked
+		// vertex gets another chance.
+		p.active.UnparkAll()
+	}
 	p.quiet = 0
 	return applied
 }
@@ -356,16 +412,24 @@ func (p *Partitioner) Step() IterationStats {
 		for i := 0; i < k; i++ {
 			p.quota[i][j] = q
 		}
+		if p.quotaCol != nil {
+			p.quotaCol[j] = q
+		}
 	}
 
 	p.moves = p.moves[:0]
 	requested := 0
+	examined := 0
 	switch {
 	case k <= 1:
 		// Single partition: nothing can move.
+	case p.cfg.Incremental:
+		requested, examined = p.stepIncremental(weight)
 	case p.par > 1:
+		examined = p.g.NumVertices()
 		requested = p.stepParallel(weight)
 	default:
+		examined = p.g.NumVertices()
 		p.g.ForEachVertex(func(v graph.VertexID) {
 			if p.cfg.S < 1 && p.rng.Float64() >= p.cfg.S {
 				return // unwilling this iteration
@@ -398,9 +462,22 @@ func (p *Partitioner) Step() IterationStats {
 	for _, mv := range p.moves {
 		p.asn.Assign(mv.v, mv.to)
 	}
+	if p.cfg.Incremental {
+		// Every applied move changes the Γ-counts of the mover's
+		// neighbours: re-wake them (and the mover, which re-settles).
+		// Departures also free capacity in the source partition, so
+		// vertices parked on it get another chance.
+		for _, mv := range p.moves {
+			p.active.MarkNeighborhood(p.g, mv.v)
+		}
+		for _, mv := range p.moves {
+			p.active.UnparkDest(mv.from)
+		}
+	}
 
 	st := IterationStats{
 		Iteration:  p.iter,
+		Examined:   examined,
 		Requested:  requested,
 		Migrations: len(p.moves),
 		CutEdges:   -1,

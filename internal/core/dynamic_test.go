@@ -180,3 +180,26 @@ func TestDynamicCutStaysBounded(t *testing.T) {
 		t.Fatalf("adaptive %.3f not below static %.3f under churn", adaptive, static)
 	}
 }
+
+func TestApplyBatchSelfLoopPlacesVertex(t *testing.T) {
+	// Regression: a rejected self-loop edge on a fresh ID materialises a
+	// live vertex; ApplyBatch must place it (in both scheduling modes) so
+	// the next Step never sees an unassigned live vertex.
+	for _, incremental := range []bool{false, true} {
+		g := gen.Cube3D(3)
+		cfg := DefaultConfig(4, 1)
+		cfg.Incremental = incremental
+		p := mustNew(t, g, partition.Hash(g, 4), cfg)
+		loop := graph.VertexID(g.NumSlots())
+		if applied := p.ApplyBatch(graph.Batch{{Kind: graph.MutAddEdge, U: loop, V: loop}}); applied != 1 {
+			t.Fatalf("incremental=%t: applied = %d, want 1", incremental, applied)
+		}
+		if p.Assignment().Of(loop) == partition.None {
+			t.Fatalf("incremental=%t: self-loop vertex unplaced", incremental)
+		}
+		p.Step() // must not panic on the new vertex
+		if err := p.Assignment().Validate(g); err != nil {
+			t.Fatalf("incremental=%t: %v", incremental, err)
+		}
+	}
+}

@@ -35,9 +35,20 @@ type coreShard struct {
 	rng       *rand.Rand
 	counts    []int
 	tied      []partition.ID
-	candBuf   []partition.ID // arena backing every request's candidate list
-	reqs      [][]shardReq   // migration requests grouped by source partition
+	candBuf   []partition.ID   // arena backing every request's candidate list
+	reqs      [][]shardReq     // migration requests grouped by source partition
+	keep      []graph.VertexID // frontier vertices staying dirty (incremental mode)
+	parkBuf   []shardPark      // hard-denied vertices to park at the barrier
+	parkDests []partition.ID   // arena backing the park entries' destination lists
 	requested int
+}
+
+// shardPark is one hard-denied vertex awaiting barrier-side parking: its
+// tied-best destinations live in the shard's parkDests at [off, off+n).
+type shardPark struct {
+	v   graph.VertexID
+	off int32
+	n   int32
 }
 
 // shardReq is one vertex's migration request: the shuffled tied-best
@@ -104,23 +115,36 @@ func (p *Partitioner) stepParallel(weight func(graph.VertexID) int) int {
 
 	// Decide: contiguous slot ranges, one per shard.
 	slots := p.g.NumSlots()
-	var wg sync.WaitGroup
-	for s, sh := range p.shards {
+	p.forEachShard(func(s int, sh *coreShard) {
 		lo, hi := graph.ShardRange(s, p.par, slots)
-		wg.Add(1)
-		go func(sh *coreShard, lo, hi int) {
-			defer wg.Done()
-			sh.decide(p, lo, hi, weight)
-		}(sh, lo, hi)
-	}
-	wg.Wait()
+		sh.decide(p, lo, hi, weight)
+	})
 	requested := 0
 	for _, sh := range p.shards {
 		requested += sh.requested
 	}
+	p.grantAll()
+	return requested
+}
 
-	// Grant: row g of the ledger is claimed only by goroutine g%G, in
-	// shard-major order — deterministic for a fixed shard count.
+// forEachShard fans fn out over the shards, one goroutine each, and waits.
+func (p *Partitioner) forEachShard(fn func(s int, sh *coreShard)) {
+	var wg sync.WaitGroup
+	for s, sh := range p.shards {
+		wg.Add(1)
+		go func(s int, sh *coreShard) {
+			defer wg.Done()
+			fn(s, sh)
+		}(s, sh)
+	}
+	wg.Wait()
+}
+
+// grantAll runs the grant phase over the shards' request queues: row g of
+// the ledger is claimed only by goroutine g%G, in shard-major order —
+// deterministic for a fixed shard count. Granted moves land in p.moves.
+func (p *Partitioner) grantAll() {
+	k := p.cfg.K
 	grantees := k
 	if p.par < grantees {
 		grantees = p.par
@@ -131,6 +155,7 @@ func (p *Partitioner) stepParallel(weight func(graph.VertexID) int) int {
 	for len(p.grantBufs) < grantees {
 		p.grantBufs = append(p.grantBufs, nil)
 	}
+	var wg sync.WaitGroup
 	for gi := 0; gi < grantees; gi++ {
 		p.grantBufs[gi] = p.grantBufs[gi][:0]
 		wg.Add(1)
@@ -143,7 +168,6 @@ func (p *Partitioner) stepParallel(weight func(graph.VertexID) int) int {
 	for gi := 0; gi < grantees; gi++ {
 		p.moves = append(p.moves, p.grantBufs[gi]...)
 	}
-	return requested
 }
 
 // grantRows claims quotas for every request whose source partition i

@@ -40,6 +40,13 @@ type Options struct {
 	// system experiments). 0 keeps the paper's one-worker-per-partition
 	// setup; the simulated statistics are identical for any value.
 	Workers int
+	// Incremental switches both the sequential heuristic and the BSP
+	// background service to the active-set (frontier) scheduler: sweeps
+	// proportional to churn instead of |V|. Off keeps the paper-exact
+	// full sweep; results under the incremental schedule are numerically
+	// different (the RNG is consumed in a different order) but
+	// statistically equivalent.
+	Incremental bool
 }
 
 // coreParallelism resolves the shard count for core.Config.Parallelism:

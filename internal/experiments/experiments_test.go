@@ -245,3 +245,13 @@ func TestFigure9Shape(t *testing.T) {
 func sprintWeek(wk int, suffix string) string {
 	return "week" + string(rune('0'+wk)) + "." + suffix
 }
+
+func TestIncrementalOptionRuns(t *testing.T) {
+	// One quality experiment (sequential heuristic) and one system
+	// experiment (BSP service) under the active-set scheduler.
+	for _, id := range []string{"fig5", "fig8"} {
+		if _, err := Run(id, Options{Quick: true, Reps: 1, Seed: 1, Incremental: true}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}

@@ -39,6 +39,7 @@ func Figure1(opt Options) (*Result, error) {
 				cfg.S = s
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
+				cfg.Incremental = opt.Incremental
 				p, err := core.New(g, partition.Hash(g, k), cfg)
 				if err != nil {
 					return nil, err

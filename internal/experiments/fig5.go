@@ -39,6 +39,7 @@ func Figure5(opt Options) (*Result, error) {
 				cfg := core.DefaultConfig(k, seed)
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
+				cfg.Incremental = opt.Incremental
 				p, err := core.New(g, asn, cfg)
 				if err != nil {
 					return nil, err

@@ -42,6 +42,7 @@ func Figure6(opt Options) (*Result, error) {
 				cfg.S = 0.5
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
+				cfg.Incremental = opt.Incremental
 				p, err := core.New(g, partition.Hash(g, k), cfg)
 				if err != nil {
 					return nil, err

@@ -63,7 +63,9 @@ func Figure7(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	svc, err := adaptive.New(adaptive.DefaultConfig(opt.Seed))
+	acfg := adaptive.DefaultConfig(opt.Seed)
+	acfg.Incremental = opt.Incremental
+	svc, err := adaptive.New(acfg)
 	if err != nil {
 		return nil, err
 	}

@@ -43,7 +43,9 @@ func Figure8(opt Options) (*Result, error) {
 			return nil, nil, 0, err
 		}
 		if adapt {
-			svc, err := adaptive.New(adaptive.DefaultConfig(opt.Seed))
+			acfg := adaptive.DefaultConfig(opt.Seed)
+			acfg.Incremental = opt.Incremental
+			svc, err := adaptive.New(acfg)
 			if err != nil {
 				return nil, nil, 0, err
 			}

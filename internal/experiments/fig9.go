@@ -54,7 +54,9 @@ func Figure9(opt Options) (*Result, error) {
 			return nil, err
 		}
 		if adapt {
-			svc, err := adaptive.New(adaptive.DefaultConfig(opt.Seed))
+			acfg := adaptive.DefaultConfig(opt.Seed)
+			acfg.Incremental = opt.Incremental
+			svc, err := adaptive.New(acfg)
 			if err != nil {
 				return nil, err
 			}

@@ -109,8 +109,9 @@ func (s *TwitterStream) rateAt(h float64) float64 {
 }
 
 // Rates returns the tweets/second value of every tick (the red line in
-// Figure 8). The slice is owned by the stream.
-func (s *TwitterStream) Rates() []float64 { return s.rates }
+// Figure 8). The slice is the caller's to keep: it is copied out of the
+// stream.
+func (s *TwitterStream) Rates() []float64 { return append([]float64(nil), s.rates...) }
 
 // NumTicks returns the total number of ticks the stream will produce.
 func (s *TwitterStream) NumTicks() int { return s.ticks }

@@ -245,3 +245,16 @@ func TestCDRStreamCommunityStructure(t *testing.T) {
 		t.Fatalf("intra-community call fraction %.2f, want ≥0.7 (social locality)", frac)
 	}
 }
+
+func TestTwitterRatesDefensiveCopy(t *testing.T) {
+	s := NewTwitterStream(DefaultTwitterConfig())
+	rates := s.Rates()
+	if len(rates) == 0 {
+		t.Fatal("no rates")
+	}
+	orig := rates[0]
+	rates[0] = -1
+	if s.Rates()[0] != orig {
+		t.Fatal("Rates leaked the stream's internal slice")
+	}
+}

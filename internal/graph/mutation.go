@@ -69,6 +69,20 @@ func (b Batch) NumEdgeAdds() int {
 // makes replaying overlapping streams safe. It returns the number of
 // mutations that changed the graph.
 func (g *Graph) Apply(b Batch) int {
+	return g.ApplyTouched(b, nil)
+}
+
+// ApplyTouched executes the batch like Apply and additionally reports every
+// vertex whose decision inputs the batch could have changed to touched:
+// added vertices, the endpoints of added/removed edges, and — for vertex
+// removals — the removed vertex's neighbours at the moment of removal.
+// Incremental schedulers (core's active set, the adaptive service's
+// frontier) seed their dirty sets from these notifications, so a sweep
+// costs O(churn) instead of O(|V|). touched may be called more than once
+// for the same vertex and may see IDs that a later mutation in the batch
+// removes; callers dedupe and re-check liveness. A nil touched reduces to
+// Apply. It returns the number of mutations that changed the graph.
+func (g *Graph) ApplyTouched(b Batch, touched func(VertexID)) int {
 	applied := 0
 	for _, mu := range b {
 		switch mu.Kind {
@@ -76,21 +90,65 @@ func (g *Graph) Apply(b Batch) int {
 			if !g.Has(mu.U) {
 				g.EnsureVertex(mu.U)
 				applied++
+				if touched != nil {
+					touched(mu.U)
+				}
 			}
 		case MutRemoveVertex:
 			if g.Has(mu.U) {
+				if touched != nil {
+					// Neighbours lose a member of their Γ; report them
+					// before the adjacency is destroyed.
+					for _, w := range g.out[mu.U] {
+						touched(w)
+					}
+					if g.directed {
+						for _, w := range g.in[mu.U] {
+							touched(w)
+						}
+					}
+					touched(mu.U)
+				}
 				g.RemoveVertex(mu.U)
 				applied++
 			}
 		case MutAddEdge:
+			createdU, createdV := !g.Has(mu.U), !g.Has(mu.V)
 			g.EnsureVertex(mu.U)
 			g.EnsureVertex(mu.V)
 			if g.AddEdge(mu.U, mu.V) {
 				applied++
+				if touched != nil {
+					touched(mu.U)
+					touched(mu.V)
+				}
+			} else {
+				// The edge was rejected (self-loop/duplicate) but
+				// EnsureVertex may still have materialised an endpoint —
+				// that IS a graph change: it must count as applied, or
+				// callers' applied==0 fast paths would skip placing the
+				// new live vertex entirely.
+				createdU = createdU && g.Has(mu.U)
+				createdV = createdV && g.Has(mu.V)
+				if createdU || createdV {
+					applied++
+				}
+				if touched != nil {
+					if createdU {
+						touched(mu.U)
+					}
+					if createdV {
+						touched(mu.V)
+					}
+				}
 			}
 		case MutRemoveEdge:
 			if g.RemoveEdge(mu.U, mu.V) {
 				applied++
+				if touched != nil {
+					touched(mu.U)
+					touched(mu.V)
+				}
 			}
 		}
 	}

@@ -128,3 +128,63 @@ func TestMutationKindString(t *testing.T) {
 		t.Error("unknown kind should render numerically")
 	}
 }
+
+func TestApplyTouchedReportsBatchTouches(t *testing.T) {
+	g := NewUndirected(4)
+	a, b, c := g.AddVertex(), g.AddVertex(), g.AddVertex()
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	var touched []VertexID
+	note := func(v VertexID) { touched = append(touched, v) }
+
+	// Removing a vertex must report its ex-neighbours (their Γ changed).
+	if applied := g.ApplyTouched(Batch{{Kind: MutRemoveVertex, U: a}}, note); applied != 1 {
+		t.Fatalf("applied = %d, want 1", applied)
+	}
+	seen := map[VertexID]bool{}
+	for _, v := range touched {
+		seen[v] = true
+	}
+	for _, want := range []VertexID{a, b, c} {
+		if !seen[want] {
+			t.Fatalf("removal touched %v, missing %d", touched, want)
+		}
+	}
+
+	// Edge add/remove report both endpoints; no-ops report nothing.
+	touched = nil
+	g.ApplyTouched(Batch{{Kind: MutAddEdge, U: b, V: c}, {Kind: MutAddEdge, U: b, V: c}}, note)
+	if len(touched) != 2 {
+		t.Fatalf("edge add touched %v, want exactly the two endpoints once", touched)
+	}
+}
+
+func TestApplyRejectedSelfLoopStillCreatesVertex(t *testing.T) {
+	// A self-loop on a fresh ID is rejected as an edge, but EnsureVertex
+	// has already materialised the endpoint: that is a graph change and
+	// must be reported as applied and touched, or callers' applied==0
+	// fast paths would leave a live vertex unplaced.
+	g := NewUndirected(2)
+	g.AddVertex()
+	loop := VertexID(7)
+	var touched []VertexID
+	applied := g.ApplyTouched(Batch{{Kind: MutAddEdge, U: loop, V: loop}}, func(v VertexID) {
+		touched = append(touched, v)
+	})
+	if applied != 1 {
+		t.Fatalf("applied = %d, want 1 (vertex materialised)", applied)
+	}
+	if !g.Has(loop) {
+		t.Fatal("endpoint not created")
+	}
+	if len(touched) == 0 || touched[0] != loop {
+		t.Fatalf("touched = %v, want [%d]", touched, loop)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate of an existing edge with live endpoints stays a no-op.
+	if applied := g.Apply(Batch{{Kind: MutAddEdge, U: loop, V: loop}}); applied != 0 {
+		t.Fatalf("repeat self-loop applied = %d, want 0", applied)
+	}
+}
