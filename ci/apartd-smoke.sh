@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the streaming partition daemon: build apartd,
+# stream a small mutation sequence over HTTP, checkpoint, SIGTERM-drain,
+# restart from the snapshot, and require byte-identical placements for
+# every vertex. CI runs this on every push/PR (the "daemon smoke" job);
+# it needs only bash, curl and jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:18291}
+WORK=$(mktemp -d)
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SNAP="$WORK/state.snap"
+# Ring size streamed below. Sized so per-pair migration quotas
+# ⌊free/(k−1)⌋ are non-zero at k=4 and vertices actually migrate before
+# the checkpoint — a restart must reproduce non-trivial RNG positions,
+# not just a static placement.
+N=200
+
+go build -o "$WORK/apartd" ./cmd/apartd
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "apartd did not become healthy on $ADDR" >&2
+  [ -f "$WORK/apartd.log" ] && cat "$WORK/apartd.log" >&2
+  return 1
+}
+
+# Batch i of 3: a third of the ring edges plus a few chords.
+post_batch() {
+  local lo=$1 hi=$2 muts="" v w
+  for v in $(seq "$lo" "$((hi - 1))"); do
+    w=$(((v + 1) % N))
+    muts+="{\"op\":\"add-edge\",\"u\":$v,\"v\":$w},"
+  done
+  muts+="{\"op\":\"add-edge\",\"u\":$lo,\"v\":$(((lo + N / 2) % N))}"
+  curl -fsS -X POST "http://$ADDR/v1/mutations" \
+    -H 'Content-Type: application/json' \
+    -d "{\"mutations\":[$muts]}" >/dev/null
+}
+
+# Poll /v1/stats until the queue is drained and the heuristic converges.
+wait_quiescent() {
+  for _ in $(seq 1 200); do
+    local stats pending converged
+    stats=$(curl -fsS "http://$ADDR/v1/stats")
+    pending=$(jq -r .mutations_pending <<<"$stats")
+    converged=$(jq -r .converged <<<"$stats")
+    if [ "$pending" = 0 ] && [ "$converged" = true ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "daemon did not quiesce; last stats: $stats" >&2
+  return 1
+}
+
+dump_placements() {
+  local out=$1 v
+  : >"$out"
+  for v in $(seq 0 $((N - 1))); do
+    curl -fsS "http://$ADDR/v1/placement/$v" | jq -c . >>"$out"
+  done
+}
+
+echo "== start fresh daemon"
+"$WORK/apartd" -addr "$ADDR" -k 4 -seed 7 -tick 50ms -checkpoint "$SNAP" \
+  >"$WORK/apartd.log" 2>&1 &
+PID=$!
+wait_healthy
+
+echo "== stream mutations"
+post_batch 0 70
+post_batch 70 140
+post_batch 140 200
+wait_quiescent
+
+echo "== checkpoint + placements before restart"
+curl -fsS -X POST "http://$ADDR/v1/checkpoint" | jq .
+dump_placements "$WORK/before.jsonl"
+curl -fsS "http://$ADDR/metrics" | grep -E '^apartd_(ticks_total|mutations_ingested_total|vertices)' >&2
+
+echo "== SIGTERM drain"
+kill -TERM "$PID"
+wait "$PID" || { echo "apartd exited non-zero" >&2; cat "$WORK/apartd.log" >&2; exit 1; }
+PID=""
+
+echo "== restart from snapshot"
+"$WORK/apartd" -addr "$ADDR" -restore "$SNAP" -tick 50ms -checkpoint "$SNAP" \
+  >>"$WORK/apartd.log" 2>&1 &
+PID=$!
+wait_healthy
+dump_placements "$WORK/after.jsonl"
+
+echo "== diff placements"
+if ! diff -u "$WORK/before.jsonl" "$WORK/after.jsonl"; then
+  echo "placements diverged across checkpoint/restart" >&2
+  exit 1
+fi
+
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+VERTICES=$(jq -r .vertices <<<"$STATS")
+if [ "$VERTICES" != "$N" ]; then
+  echo "restored daemon reports $VERTICES vertices, want $N" >&2
+  exit 1
+fi
+
+kill -TERM "$PID"
+wait "$PID" || true
+PID=""
+echo "daemon smoke OK: $N placements identical across restart"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Docs gate: every relative markdown link in the repository's
+# documentation must resolve to an existing file or directory. External
+# (http/https/mailto) links and pure in-page anchors are skipped — CI
+# must not flake on network reachability. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+# README.md, docs/, examples/, and the repo-level process docs.
+mapfile -t files < <(find README.md ROADMAP.md docs examples -name '*.md' 2>/dev/null | sort)
+
+for f in "${files[@]}"; do
+  dir=$(dirname "$f")
+  # Extract markdown link targets: [text](target). One per line; tolerate
+  # several links on a line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*} # strip in-page anchor
+    [ -z "$path" ] && continue
+    # Skip paths that resolve outside the repository tree: those are
+    # GitHub web routes (e.g. the ../../actions/... badge URLs), not
+    # files this checkout can validate.
+    abs=$(realpath -m "$dir/$path")
+    case "$abs" in
+      "$PWD"/*) ;;
+      *) continue ;;
+    esac
+    if [ ! -e "$dir/$path" ]; then
+      echo "$f: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "linkcheck: broken relative links found" >&2
+  exit 1
+fi
+echo "linkcheck OK: ${#files[@]} markdown files checked"

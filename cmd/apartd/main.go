@@ -1,0 +1,162 @@
+// Command apartd is the streaming partition daemon: the serving form of
+// the paper's adaptive partitioner. It ingests graph mutations over
+// HTTP/JSON, coalesces them into batches on a configurable tick, runs
+// the incremental re-adaptation loop between ticks, and answers
+// placement and statistics queries while the stream keeps flowing.
+// Checkpoints capture the complete partitioner state — graph, assignment,
+// scheduler frontier, RNG positions — so a restarted daemon resumes
+// deterministically mid-stream.
+//
+// Start fresh, stream mutations, query placements:
+//
+//	apartd -addr :8080 -k 9 -seed 1 -checkpoint /var/lib/apartd/state.snap
+//	curl -X POST localhost:8080/v1/mutations \
+//	     -d '{"mutations":[{"op":"add-edge","u":0,"v":1}]}'
+//	curl localhost:8080/v1/placement/0
+//	curl localhost:8080/v1/stats
+//
+// Checkpoint and resume:
+//
+//	curl -X POST localhost:8080/v1/checkpoint
+//	apartd -addr :8080 -restore /var/lib/apartd/state.snap
+//
+// On SIGTERM/SIGINT the daemon stops accepting requests, absorbs the
+// pending mutation queue, writes a final checkpoint (when -checkpoint is
+// set) and exits. See docs/ARCHITECTURE.md for the full API reference
+// and the ingest→coalesce→re-adapt→serve data flow.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xdgp/internal/server"
+	"xdgp/internal/snapshot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "apartd:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed command line.
+type options struct {
+	addr       string
+	restore    string
+	drainTicks int
+	cfg        server.Config
+}
+
+// parseFlags builds the daemon configuration from the command line.
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("apartd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		k           = fs.Int("k", 9, "number of partitions")
+		seed        = fs.Int64("seed", 1, "random seed (with the stream, determines every placement)")
+		s           = fs.Float64("s", 0.5, "willingness to move (0,1]")
+		capFactor   = fs.Float64("capacity", 1.10, "capacity factor over balanced load")
+		parallel    = fs.Int("parallel", 1, "shards for the re-adaptation sweep (0 = one per CPU, 1 = sequential)")
+		incremental = fs.Bool("incremental", true, "active-set scheduler (recommended for streaming; full sweep when off)")
+		tick        = fs.Duration("tick", 250*time.Millisecond, "mutation-coalescing tick period")
+		maxSteps    = fs.Int("max-steps", 40, "heuristic iteration budget per tick")
+		window      = fs.Int("window", 30, "consecutive quiet iterations to declare convergence")
+		ckpt        = fs.String("checkpoint", "", "snapshot path for POST /v1/checkpoint, periodic and shutdown checkpoints")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "auto-checkpoint every n ticks (0 = off; requires -checkpoint)")
+		restore     = fs.String("restore", "", "resume from this snapshot (algorithm parameters come from the snapshot)")
+		drainTicks  = fs.Int("drain-ticks", 1000, "max ticks the shutdown drain runs to absorb the pending queue")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := server.DefaultConfig(*k, *seed)
+	cfg.S = *s
+	cfg.CapacityFactor = *capFactor
+	cfg.Parallelism = *parallel
+	cfg.Incremental = *incremental
+	cfg.TickEvery = *tick
+	cfg.MaxStepsPerTick = *maxSteps
+	cfg.ConvergenceWindow = *window
+	cfg.CheckpointPath = *ckpt
+	cfg.CheckpointEvery = *ckptEvery
+	return &options{addr: *addr, restore: *restore, drainTicks: *drainTicks, cfg: cfg}, nil
+}
+
+// buildServer constructs the daemon, fresh or from a snapshot.
+func buildServer(opts *options) (*server.Server, error) {
+	if opts.restore == "" {
+		return server.New(opts.cfg)
+	}
+	snap, err := snapshot.Load(opts.restore)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.Restore(opts.cfg, snap)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("restored %s: %d vertices, %d edges, tick %d, k=%d seed=%d",
+		opts.restore, snap.Graph.NumVertices(), snap.Graph.NumEdges(),
+		snap.Meta.Ticks, snap.Params.K, snap.Params.Seed)
+	return srv, nil
+}
+
+func run(args []string) error {
+	opts, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	srv, err := buildServer(opts)
+	if err != nil {
+		return err
+	}
+	cfg := srv.Config()
+	srv.Start()
+	defer srv.Stop()
+
+	httpSrv := &http.Server{
+		Addr:              opts.addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("apartd listening on %s (k=%d seed=%d incremental=%v tick=%s checkpoint=%q)",
+		opts.addr, cfg.K, cfg.Seed, cfg.Incremental, cfg.TickEvery, cfg.CheckpointPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case got := <-sig:
+		log.Printf("received %s: draining", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // in-flight requests get the grace window
+		ticks, err := srv.Drain(opts.drainTicks)
+		st := srv.Stats()
+		log.Printf("drained in %d ticks: %d vertices, %d edges, converged=%v, %d checkpoints",
+			ticks, st.Vertices, st.Edges, st.Converged, st.Checkpoints)
+		if err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xdgp/internal/graph"
+	"xdgp/internal/server"
+)
+
+func TestParseFlags(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-addr", ":9999", "-k", "5", "-seed", "42", "-incremental=false",
+		"-tick", "50ms", "-checkpoint", "/tmp/x.snap", "-checkpoint-every", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":9999" || opts.cfg.K != 5 || opts.cfg.Seed != 42 {
+		t.Fatalf("parsed %+v", opts)
+	}
+	if opts.cfg.Incremental {
+		t.Fatal("incremental should be off")
+	}
+	if opts.cfg.TickEvery != 50*time.Millisecond || opts.cfg.CheckpointEvery != 4 {
+		t.Fatalf("parsed %+v", opts.cfg)
+	}
+}
+
+func TestParseFlagsRejectsJunk(t *testing.T) {
+	if _, err := parseFlags([]string{"-k", "3", "stray-arg"}); err == nil {
+		t.Fatal("accepted stray positional argument")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}
+
+func TestBuildServerFresh(t *testing.T) {
+	opts, err := parseFlags([]string{"-k", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Vertices != 0 || st.K != 3 {
+		t.Fatalf("fresh daemon stats %+v", st)
+	}
+}
+
+func TestBuildServerRestore(t *testing.T) {
+	// Produce a snapshot via a live daemon, then rebuild from disk.
+	path := filepath.Join(t.TempDir(), "state.snap")
+	cfg := server.DefaultConfig(4, 9)
+	cfg.TickEvery = time.Hour
+	cfg.CheckpointPath = path
+	src, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b graph.Batch
+	for i := 0; i < 30; i++ {
+		b = append(b, graph.Mutation{Kind: graph.MutAddEdge,
+			U: graph.VertexID(i), V: graph.VertexID((i + 1) % 30)})
+	}
+	src.Enqueue(b)
+	src.TickNow()
+	if _, err := src.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore overrides the command line's algorithm knobs with the
+	// snapshot's (k=4, seed=9), keeping serving knobs from the flags.
+	opts, err := parseFlags([]string{"-k", "99", "-seed", "1234", "-restore", path, "-tick", "1h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := buildServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.K != 4 || st.Vertices != 30 {
+		t.Fatalf("restored stats %+v, want k=4 vertices=30", st)
+	}
+	got := srv.Config()
+	if got.Seed != 9 || got.K != 4 {
+		t.Fatalf("restored config %+v, want snapshot's k=4 seed=9", got)
+	}
+	if got.TickEvery != time.Hour {
+		t.Fatalf("serving knob lost: tick=%s", got.TickEvery)
+	}
+	// The restored daemon keeps serving placements for snapshot vertices.
+	if _, ok := srv.Placement(0); !ok {
+		t.Fatal("restored daemon lost placement of vertex 0")
+	}
+}
+
+func TestBuildServerRestoreMissingFile(t *testing.T) {
+	opts, err := parseFlags([]string{"-restore", filepath.Join(t.TempDir(), "nope.snap")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(opts); err == nil {
+		t.Fatal("restore of missing file succeeded")
+	}
+	// A corrupt snapshot must fail loudly too.
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("XDGPSNAPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts.restore = bad
+	if _, err := buildServer(opts); err == nil {
+		t.Fatal("restore of corrupt file succeeded")
+	}
+}

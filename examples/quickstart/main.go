@@ -6,14 +6,26 @@
 //  2. hash-partition it over 9 partitions (what most systems do),
 //  3. run the paper's adaptive iterative heuristic to convergence,
 //  4. compare cut ratios and show what that means for a real computation
-//     by running PageRank on the BSP engine under both partitionings.
+//     by running PageRank on the BSP engine under both partitionings,
+//  5. run the same workflow as a *service*: an in-process apartd daemon
+//     ingests a mutation stream over its HTTP API, answers placement
+//     queries, checkpoints, and restores with identical assignments.
 //
 // Run with: go run ./examples/quickstart
+// (See README.md in this directory for the same daemon walkthrough
+// against a real apartd process, using curl.)
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
 
 	"xdgp/internal/apps"
 	"xdgp/internal/bsp"
@@ -21,6 +33,8 @@ import (
 	"xdgp/internal/gen"
 	"xdgp/internal/graph"
 	"xdgp/internal/partition"
+	"xdgp/internal/server"
+	"xdgp/internal/snapshot"
 )
 
 func main() {
@@ -55,6 +69,104 @@ func main() {
 	fmt.Printf("PageRank on hash partitioning:     %.0f cost units\n", hashTime)
 	fmt.Printf("PageRank on adapted partitioning:  %.0f cost units (%.1f× faster)\n",
 		adaptedTime, hashTime/adaptedTime)
+
+	// 5. The serving form: the same heuristic as a streaming daemon.
+	fmt.Println()
+	daemonDemo(k)
+}
+
+// daemonDemo drives an in-process apartd daemon through the HTTP API:
+// stream mutations, query a placement, checkpoint, restore, and verify
+// the restored daemon serves identical placements.
+func daemonDemo(k int) {
+	cfg := server.DefaultConfig(k, 42)
+	cfg.TickEvery = time.Hour // we tick explicitly below
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Stream a community-structured graph — k communities of 100
+	// vertices, dense inside, one bridge between consecutive
+	// communities — exactly as curl would. (Sizing note: per-pair
+	// migration quotas are ⌊free capacity/(k−1)⌋, so a stream much
+	// smaller than ~k² / (CapacityFactor−1) vertices leaves every quota
+	// at zero and nothing can move.)
+	var req struct {
+		Mutations []server.MutationJSON `json:"mutations"`
+	}
+	const commSize = 100
+	n := int64(k * commSize)
+	for c := 0; c < k; c++ {
+		base := int64(c * commSize)
+		for j := int64(0); j < commSize; j++ {
+			for _, d := range []int64{1, 13, 29, 41} {
+				req.Mutations = append(req.Mutations, server.MutationJSON{
+					Op: "add-edge", U: base + j, V: base + (j+d)%commSize})
+			}
+		}
+		req.Mutations = append(req.Mutations, server.MutationJSON{
+			Op: "add-edge", U: base, V: (base + commSize) % n})
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/mutations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for !srv.Stats().Converged { // the daemon's tick loop, compressed
+		srv.TickNow()
+	}
+
+	var placement struct {
+		Vertex    int64 `json:"vertex"`
+		Partition int64 `json:"partition"`
+	}
+	getJSON(ts.URL+"/v1/placement/17", &placement)
+	st := srv.Stats()
+	fmt.Printf("daemon: streamed %d mutations, adapted to cut ratio %.3f in %d iterations\n",
+		st.Ingested, st.CutRatio, st.Iteration)
+	fmt.Printf("daemon: vertex 17 → partition %d (GET /v1/placement/17)\n", placement.Partition)
+
+	// Checkpoint, restore into a second daemon, verify placements match.
+	dir, err := os.MkdirTemp("", "apartd-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "state.snap")
+	if _, err := srv.Checkpoint(path); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := snapshot.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := server.Restore(cfg, snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := graph.VertexID(0); v < graph.VertexID(n); v++ {
+		a, okA := srv.Placement(v)
+		b, okB := restored.Placement(v)
+		if a != b || okA != okB {
+			log.Fatalf("placement of %d diverged after restore: %d vs %d", v, a, b)
+		}
+	}
+	fmt.Printf("daemon: checkpoint + restore verified — all %d placements identical\n", n)
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // timePageRank runs 20 PageRank rounds on the engine and returns the total

@@ -22,7 +22,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 
 	"xdgp/internal/activeset"
@@ -53,7 +53,7 @@ type Config struct {
 	Seed int64
 	// Parallelism is the number of shards the per-iteration vertex sweep
 	// is split across, each served by its own goroutine and deterministic
-	// RNG (seeded from Seed + shard index). 0 picks
+	// RNG (a PCG stream selected by Seed and the shard index). 0 picks
 	// runtime.GOMAXPROCS(0); 1 runs the exact sequential path the paper's
 	// quality experiments use. Results are reproducible for a fixed shard
 	// count but differ between shard counts, because each shard consumes
@@ -168,14 +168,15 @@ type Result struct {
 // It owns neither: the graph may be mutated externally between iterations
 // (apply stream batches via ApplyBatch so bookkeeping stays consistent).
 type Partitioner struct {
-	cfg   Config
-	g     *graph.Graph
-	asn   *partition.Assignment
-	caps  []int
-	capsN int // vertex count the capacities were derived from
-	rng   *rand.Rand
-	iter  int
-	quiet int
+	cfg    Config
+	g      *graph.Graph
+	asn    *partition.Assignment
+	caps   []int
+	capsN  int // vertex count the capacities were derived from
+	rng    *rand.Rand
+	rngSrc *rand.PCG // rng's source; serializable for checkpoint/restore
+	iter   int
+	quiet  int
 	// lastMigration is the iteration index of the most recent migration.
 	lastMigration int
 	// scratch buffers reused across iterations.
@@ -216,11 +217,13 @@ func New(g *graph.Graph, asn *partition.Assignment, cfg Config) (*Partitioner, e
 	if err := asn.Validate(g); err != nil {
 		return nil, fmt.Errorf("core: invalid initial assignment: %w", err)
 	}
+	src := newPCG(cfg.Seed, 0)
 	p := &Partitioner{
 		cfg:    cfg,
 		g:      g,
 		asn:    asn,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    rand.New(src),
+		rngSrc: src,
 		counts: make([]int, cfg.K),
 		tied:   make([]partition.ID, 0, cfg.K),
 		quota:  make([][]int, cfg.K),
@@ -256,6 +259,12 @@ func (p *Partitioner) Parallelism() int { return p.par }
 
 // Assignment returns the live assignment table (mutated by Step).
 func (p *Partitioner) Assignment() *partition.Assignment { return p.asn }
+
+// Graph returns the live graph the partitioner adapts. It is the same
+// object passed to New/Restore — mutated by ApplyBatch — and callers must
+// treat it as read-only between those calls; the snapshot path serializes
+// it with graph.EncodeBinary rather than retaining the reference.
+func (p *Partitioner) Graph() *graph.Graph { return p.g }
 
 // Capacities returns a copy of the current per-partition capacities.
 func (p *Partitioner) Capacities() []int { return append([]int(nil), p.caps...) }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
@@ -16,8 +16,9 @@ import (
 // shard count:
 //
 //   - Decide phase: each shard owns a contiguous range of vertex slots and
-//     its own RNG (seeded from Config.Seed + shard index), so coin flips
-//     and tie-break shuffles replay identically run to run.
+//     its own RNG (a PCG stream selected by Config.Seed and the shard
+//     index), so coin flips and tie-break shuffles replay identically run
+//     to run.
 //
 //   - Grant phase: candidate requests claim per-pair quotas Q(i,j) from an
 //     atomic quota ledger. A claim only ever decrements row i = the
@@ -33,6 +34,7 @@ import (
 // coreShard is the per-goroutine state of the parallel sweep.
 type coreShard struct {
 	rng       *rand.Rand
+	src       *rand.PCG // rng's source; serializable for checkpoint/restore
 	counts    []int
 	tied      []partition.ID
 	candBuf   []partition.ID   // arena backing every request's candidate list
@@ -61,10 +63,12 @@ type shardReq struct {
 }
 
 func newCoreShard(seed int64, idx, k int) *coreShard {
+	// The shard index selects a distinct PCG stream; see newPCG. The
+	// per-shard generators stay a pure function of (seed, idx).
+	src := newPCG(seed, idx+1)
 	return &coreShard{
-		// Golden-ratio stride keeps the per-shard streams well separated
-		// while remaining a pure function of (seed, idx).
-		rng:    rand.New(rand.NewSource(seed + int64(idx+1)*0x9E3779B9)),
+		rng:    rand.New(src),
+		src:    src,
 		counts: make([]int, k),
 		reqs:   make([][]shardReq, k),
 	}

@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the stable binary serialization of a Graph used by
+// the snapshot/restore path (internal/snapshot). The format captures the
+// *identity-level* state, not just the topology: slot layout, the alive
+// bitmap and the free-list order all round-trip, because vertex IDs are
+// recycled LIFO and a restored daemon must hand out exactly the IDs the
+// uninterrupted run would have (determinism acceptance criterion).
+//
+// Layout (all integers little-endian, fixed width):
+//
+//	u8  directed
+//	u32 slots
+//	u64 n (live vertices), u64 m (live edges)   — validated on decode
+//	slots × u8   alive bitmap (one byte per slot)
+//	u32 freeLen, freeLen × i32                  — free list, stack order
+//	slots × (u32 deg, deg × i32)                — out-adjacency, slot order
+//	[directed only] slots × (u32 deg, deg × i32) — in-adjacency
+//
+// The format is versioned by the enclosing snapshot container, which also
+// carries a CRC; the decoder still bounds every length so a corrupt or
+// adversarial payload errors instead of allocating unbounded memory.
+
+// maxCodecSlots bounds the vertex-table size EncodeBinary/DecodeGraph
+// accept, mirroring MaxReadVertexID for the text parsers.
+const maxCodecSlots = MaxReadVertexID + 1
+
+// EncodeBinary writes the graph in the stable binary snapshot format.
+func (g *Graph) EncodeBinary(w io.Writer) error {
+	if len(g.out) > maxCodecSlots {
+		return fmt.Errorf("graph: %d slots exceed the serializable maximum %d", len(g.out), maxCodecSlots)
+	}
+	bw := bufio.NewWriter(w)
+	dir := byte(0)
+	if g.directed {
+		dir = 1
+	}
+	if err := bw.WriteByte(dir); err != nil {
+		return err
+	}
+	writeU32(bw, uint32(len(g.out)))
+	writeU64(bw, uint64(g.n))
+	writeU64(bw, uint64(g.m))
+	for _, a := range g.alive {
+		b := byte(0)
+		if a {
+			b = 1
+		}
+		bw.WriteByte(b)
+	}
+	writeU32(bw, uint32(len(g.free)))
+	for _, id := range g.free {
+		writeI32(bw, int32(id))
+	}
+	writeAdjacency(bw, g.out)
+	if g.directed {
+		writeAdjacency(bw, g.in)
+	}
+	return bw.Flush()
+}
+
+func writeAdjacency(bw *bufio.Writer, adj [][]VertexID) {
+	for _, list := range adj {
+		writeU32(bw, uint32(len(list)))
+		for _, v := range list {
+			writeI32(bw, int32(v))
+		}
+	}
+}
+
+// DecodeGraph reads a graph previously written by EncodeBinary. Structural
+// counters (n, m, free-list/alive consistency) are validated; a mismatch
+// or out-of-range ID yields an error, never a panic or unbounded
+// allocation.
+func DecodeGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	dir, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("graph decode: %w", err)
+	}
+	if dir > 1 {
+		return nil, fmt.Errorf("graph decode: invalid directed flag %d", dir)
+	}
+	slots, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph decode: slots: %w", err)
+	}
+	if int(slots) > maxCodecSlots {
+		return nil, fmt.Errorf("graph decode: %d slots exceed the supported maximum %d", slots, maxCodecSlots)
+	}
+	n, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph decode: n: %w", err)
+	}
+	m, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph decode: m: %w", err)
+	}
+	if n > uint64(slots) {
+		return nil, fmt.Errorf("graph decode: %d live vertices in %d slots", n, slots)
+	}
+	g := &Graph{
+		directed: dir == 1,
+		out:      make([][]VertexID, slots),
+		alive:    make([]bool, slots),
+	}
+	if g.directed {
+		g.in = make([][]VertexID, slots)
+	}
+	live := 0
+	for i := range g.alive {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("graph decode: alive bitmap: %w", err)
+		}
+		switch b {
+		case 0:
+		case 1:
+			g.alive[i] = true
+			live++
+		default:
+			return nil, fmt.Errorf("graph decode: invalid alive byte %d at slot %d", b, i)
+		}
+	}
+	if uint64(live) != n {
+		return nil, fmt.Errorf("graph decode: alive bitmap has %d live vertices, header says %d", live, n)
+	}
+	freeLen, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph decode: free list: %w", err)
+	}
+	if int(freeLen)+live != int(slots) {
+		return nil, fmt.Errorf("graph decode: free %d + live %d != slots %d", freeLen, live, slots)
+	}
+	g.free = make([]VertexID, freeLen)
+	for i := range g.free {
+		id, err := readSlotID(br, slots)
+		if err != nil {
+			return nil, fmt.Errorf("graph decode: free list entry %d: %w", i, err)
+		}
+		if g.alive[id] {
+			return nil, fmt.Errorf("graph decode: free list contains live vertex %d", id)
+		}
+		g.free[i] = id
+	}
+	ends, err := readAdjacency(br, g.out, slots)
+	if err != nil {
+		return nil, fmt.Errorf("graph decode: out-adjacency: %w", err)
+	}
+	wantEnds := 2 * m
+	if g.directed {
+		wantEnds = m
+	}
+	if ends != wantEnds {
+		return nil, fmt.Errorf("graph decode: %d out-edge ends, header implies %d", ends, wantEnds)
+	}
+	if g.directed {
+		inEnds, err := readAdjacency(br, g.in, slots)
+		if err != nil {
+			return nil, fmt.Errorf("graph decode: in-adjacency: %w", err)
+		}
+		if inEnds != m {
+			return nil, fmt.Errorf("graph decode: %d in-edge ends, header says %d edges", inEnds, m)
+		}
+	}
+	g.n = int(n)
+	g.m = int(m)
+	return g, nil
+}
+
+func readAdjacency(br *bufio.Reader, adj [][]VertexID, slots uint32) (ends uint64, err error) {
+	for i := range adj {
+		deg, err := readU32(br)
+		if err != nil {
+			return 0, fmt.Errorf("slot %d degree: %w", i, err)
+		}
+		if deg > slots {
+			return 0, fmt.Errorf("slot %d degree %d exceeds slot count %d", i, deg, slots)
+		}
+		if deg == 0 {
+			continue
+		}
+		list := make([]VertexID, deg)
+		for j := range list {
+			id, err := readSlotID(br, slots)
+			if err != nil {
+				return 0, fmt.Errorf("slot %d neighbour %d: %w", i, j, err)
+			}
+			list[j] = id
+		}
+		adj[i] = list
+		ends += uint64(deg)
+	}
+	return ends, nil
+}
+
+func readSlotID(br *bufio.Reader, slots uint32) (VertexID, error) {
+	raw, err := readI32(br)
+	if err != nil {
+		return NoVertex, err
+	}
+	if raw < 0 || uint32(raw) >= slots {
+		return NoVertex, fmt.Errorf("vertex id %d out of range [0,%d)", raw, slots)
+	}
+	return VertexID(raw), nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}
+
+func writeI32(w *bufio.Writer, v int32) { writeU32(w, uint32(v)) }
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readI32(r io.Reader) (int32, error) {
+	v, err := readU32(r)
+	return int32(v), err
+}

@@ -108,6 +108,37 @@ func (a *Assignment) Clone() *Assignment {
 	}
 }
 
+// Table returns a copy of the full slot-indexed assignment table
+// (None for unassigned slots). It is the serialization form used by the
+// snapshot path; the copy keeps internal state unaliased.
+func (a *Assignment) Table() []ID {
+	return append([]ID(nil), a.of...)
+}
+
+// FromTable reconstructs an assignment from a slot-indexed table as
+// produced by Table, re-deriving the per-partition size counters. Entries
+// outside [0,k) other than None are rejected.
+func FromTable(table []ID, k int) (*Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be ≥ 1, got %d", k)
+	}
+	a := &Assignment{
+		of:    append([]ID(nil), table...),
+		sizes: make([]int, k),
+		k:     k,
+	}
+	for slot, p := range a.of {
+		if p == None {
+			continue
+		}
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("partition: slot %d has invalid partition %d (k=%d)", slot, p, k)
+		}
+		a.sizes[p]++
+	}
+	return a, nil
+}
+
 // Validate checks that the assignment is a proper partition of g's live
 // vertices: every live vertex assigned to a valid partition, no dead
 // vertex assigned, and size counters consistent.

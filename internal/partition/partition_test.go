@@ -180,3 +180,55 @@ func TestWithinCapacities(t *testing.T) {
 		t.Fatal("partition 0 exceeds capacity 1")
 	}
 }
+
+// TestTableIsACopy guards the snapshot path: mutating the table returned
+// by Table must not corrupt the live assignment, and FromTable must not
+// retain the caller's slice.
+func TestTableIsACopy(t *testing.T) {
+	a := NewAssignment(4, 2)
+	a.Assign(0, 1)
+	a.Assign(1, 0)
+
+	table := a.Table()
+	table[0] = 0
+	if a.Of(0) != 1 {
+		t.Fatal("mutating Table() output changed the assignment")
+	}
+
+	b, err := FromTable(table, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table[1] = None
+	if b.Of(1) != 0 {
+		t.Fatal("FromTable retained the caller's slice")
+	}
+	if b.Size(0) != 2 || b.Size(1) != 0 {
+		t.Fatalf("FromTable sizes = %v, want [2 0]", b.Sizes())
+	}
+}
+
+// TestFromTableValidation rejects malformed tables.
+func TestFromTableValidation(t *testing.T) {
+	if _, err := FromTable([]ID{0}, 0); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := FromTable([]ID{3}, 2); err == nil {
+		t.Fatal("accepted out-of-range partition")
+	}
+	if _, err := FromTable([]ID{-2}, 2); err == nil {
+		t.Fatal("accepted negative non-None partition")
+	}
+	// A round trip preserves everything, including unassigned slots.
+	a := NewAssignment(3, 2)
+	a.Assign(2, 1)
+	b, err := FromTable(a.Table(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if a.Of(graph.VertexID(v)) != b.Of(graph.VertexID(v)) {
+			t.Fatalf("slot %d diverged", v)
+		}
+	}
+}

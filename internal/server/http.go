@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+
+	"xdgp/internal/graph"
+)
+
+// This file is the daemon's HTTP surface. All request and response
+// bodies are JSON; errors come back as {"error": "..."} with a 4xx/5xx
+// status. See docs/ARCHITECTURE.md and the README's API reference table
+// for the endpoint contract.
+
+// maxIngestBody bounds one POST /v1/mutations body (64 MiB ≈ 1.5M
+// mutations) so a runaway client cannot exhaust memory in one request.
+const maxIngestBody = 64 << 20
+
+// MutationJSON is the wire form of one mutation. Op is one of
+// "add-vertex", "remove-vertex", "add-edge", "remove-edge"; U is the
+// vertex for vertex ops and the first endpoint for edge ops, V the
+// second endpoint.
+type MutationJSON struct {
+	Op string `json:"op"`
+	U  int64  `json:"u"`
+	V  int64  `json:"v"`
+}
+
+// IngestRequest is the body of POST /v1/mutations.
+type IngestRequest struct {
+	Mutations []MutationJSON `json:"mutations"`
+}
+
+// ToMutation validates and converts the wire form.
+func (m MutationJSON) ToMutation() (graph.Mutation, error) {
+	var kind graph.MutationKind
+	needV := false
+	switch m.Op {
+	case "add-vertex":
+		kind = graph.MutAddVertex
+	case "remove-vertex":
+		kind = graph.MutRemoveVertex
+	case "add-edge":
+		kind = graph.MutAddEdge
+		needV = true
+	case "remove-edge":
+		kind = graph.MutRemoveEdge
+		needV = true
+	default:
+		return graph.Mutation{}, fmt.Errorf("unknown op %q", m.Op)
+	}
+	if err := checkWireID(m.U); err != nil {
+		return graph.Mutation{}, fmt.Errorf("u: %w", err)
+	}
+	mu := graph.Mutation{Kind: kind, U: graph.VertexID(m.U)}
+	if needV {
+		if err := checkWireID(m.V); err != nil {
+			return graph.Mutation{}, fmt.Errorf("v: %w", err)
+		}
+		mu.V = graph.VertexID(m.V)
+	}
+	return mu, nil
+}
+
+// checkWireID enforces the same ID bounds as the file parsers: the
+// vertex table is dense, so one huge ID would materialise every slot
+// below it.
+func checkWireID(id int64) error {
+	if id < 0 {
+		return fmt.Errorf("vertex id %d is negative", id)
+	}
+	if id > graph.MaxReadVertexID {
+		return fmt.Errorf("vertex id %d exceeds the supported maximum %d", id, graph.MaxReadVertexID)
+	}
+	return nil
+}
+
+// routes builds the daemon's endpoint table.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mutations", s.handleMutations)
+	mux.HandleFunc("GET /v1/placement/{vertex}", s.handlePlacement)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// ServeHTTP serves the daemon API; Server is a plain http.Handler, so it
+// mounts under any router or test server.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
+	var req IngestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	batch := make(graph.Batch, 0, len(req.Mutations))
+	for i, m := range req.Mutations {
+		mu, err := m.ToMutation()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("mutation %d: %w", i, err))
+			return
+		}
+		batch = append(batch, mu)
+	}
+	queued := s.Enqueue(batch)
+	writeJSON(w, http.StatusAccepted, map[string]int{
+		"accepted": len(batch),
+		"queued":   queued,
+	})
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("vertex")
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("vertex %q: %w", raw, err))
+		return
+	}
+	if err := checkWireID(id); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, ok := s.Placement(graph.VertexID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("vertex %d is not placed (unknown, removed, or still in the ingest queue)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"vertex":    id,
+		"partition": int64(p),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// checkpointRequest optionally overrides the snapshot file name. The
+// override is confined to the directory of the configured checkpoint
+// path: an HTTP client must never be able to make the daemon write to
+// an arbitrary filesystem location.
+type checkpointRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req checkpointRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+			return
+		}
+	}
+	if s.cfg.CheckpointPath == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no checkpoint path configured; start the daemon with -checkpoint"))
+		return
+	}
+	path := s.cfg.CheckpointPath
+	if req.Path != "" {
+		// Allow alternate snapshot *names* inside the configured
+		// checkpoint directory only.
+		dir := filepath.Dir(s.cfg.CheckpointPath)
+		candidate := filepath.Join(dir, filepath.Base(req.Path))
+		if filepath.Base(req.Path) != req.Path && filepath.Clean(req.Path) != candidate {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("path %q escapes the checkpoint directory %q; pass a bare file name", req.Path, dir))
+			return
+		}
+		path = candidate
+	}
+	snap, err := s.Checkpoint(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":               path,
+		"ticks":              snap.Meta.Ticks,
+		"mutations_ingested": snap.Meta.MutationsIngested,
+		"mutations_applied":  snap.Meta.MutationsApplied,
+		"vertices":           snap.Graph.NumVertices(),
+		"edges":              snap.Graph.NumEdges(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort: headers already sent
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

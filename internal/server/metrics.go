@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// This file renders GET /metrics in the Prometheus text exposition
+// format, hand-written so the daemon stays dependency-free. Everything
+// exported here is O(1) to read — counters are atomics, gauges come from
+// size fields — keeping the scrape path cheap; cut statistics (O(|E|))
+// are deliberately /v1/stats-only.
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("apartd_mutations_ingested_total", "Mutations accepted over HTTP.", s.ingested.Load())
+	counter("apartd_mutations_applied_total", "Mutations that changed the graph.", s.applied.Load())
+	counter("apartd_ticks_total", "Coalescing ticks processed.", s.ticks.Load())
+	counter("apartd_iterations_total", "Heuristic iterations executed.", s.iterations.Load())
+	counter("apartd_examined_total", "Per-vertex migration decisions evaluated (the active-set scheduler's denominator).", s.examined.Load())
+	counter("apartd_migrations_total", "Granted vertex migrations.", s.migrations.Load())
+	counter("apartd_checkpoints_total", "Snapshots written.", s.checkpoints.Load())
+	counter("apartd_checkpoint_failures_total", "Periodic/drain checkpoint attempts that failed.", s.ckptFailures.Load())
+
+	pending, age := s.PendingMutations()
+	gauge("apartd_ingest_pending", "Mutations waiting for the next tick.", float64(pending))
+	gauge("apartd_ingest_lag_seconds", "Age of the oldest pending mutation.", age.Seconds())
+	gauge("apartd_last_batch_size", "Mutations coalesced into the most recent tick.", float64(s.lastBatch.Load()))
+	gauge("apartd_last_checkpoint_timestamp_seconds", "Unix time of the most recent checkpoint (0 when none).", float64(s.lastCkptUnx.Load()))
+
+	s.mu.RLock()
+	g := s.part.Graph()
+	vertices, edges := g.NumVertices(), g.NumEdges()
+	dirty := s.part.DirtyCount()
+	iteration := s.part.Iteration()
+	converged := s.part.Converged()
+	sizes := s.part.Assignment().Sizes()
+	s.mu.RUnlock()
+
+	gauge("apartd_vertices", "Live vertices.", float64(vertices))
+	gauge("apartd_edges", "Live edges.", float64(edges))
+	gauge("apartd_dirty_vertices", "Active-set frontier size (0 when full-sweep or idle).", float64(dirty))
+	gauge("apartd_iteration", "Heuristic iteration counter.", float64(iteration))
+	boolV := 0.0
+	if converged {
+		boolV = 1
+	}
+	gauge("apartd_converged", "1 when the convergence window is satisfied.", boolV)
+
+	fmt.Fprintf(&b, "# HELP apartd_partition_size Vertices per partition.\n# TYPE apartd_partition_size gauge\n")
+	for p, n := range sizes {
+		fmt.Fprintf(&b, "apartd_partition_size{partition=%q} %d\n", fmt.Sprint(p), n)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}

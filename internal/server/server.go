@@ -1,0 +1,452 @@
+// Package server implements the streaming partition daemon behind
+// cmd/apartd: a long-lived service that ingests graph mutations over
+// HTTP/JSON, coalesces them into graph.Batches on a configurable tick,
+// drives the incremental core.Partitioner re-adaptation loop between
+// ticks, and answers placement and statistics queries while the stream
+// keeps flowing — the serving form the paper's systems (xDGP-style
+// partitioners embedded in near-real-time graph processing) assume.
+//
+// Concurrency model: ingestion and adaptation never share a lock.
+// POST /v1/mutations appends to a pending batch under its own mutex and
+// returns immediately; the tick loop swaps the pending batch out,
+// applies it and runs heuristic iterations under the state lock, held
+// per-iteration so placement queries (read lock) interleave between
+// iterations rather than waiting out a whole tick. Checkpoints capture
+// under the read lock — concurrent queries proceed, adaptation briefly
+// pauses — and write to disk outside any lock.
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdgp/internal/core"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+	"xdgp/internal/snapshot"
+)
+
+// Config parameterises the daemon. The zero value is invalid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// K is the number of partitions (fixed for the daemon's lifetime).
+	K int
+	// Seed drives every random choice; together with the stream it
+	// determines the assignment byte-for-byte.
+	Seed int64
+	// S, CapacityFactor, Parallelism and Incremental are the heuristic
+	// knobs, with core.Config semantics. Incremental defaults on in
+	// DefaultConfig: a long-lived daemon lives in the steady state the
+	// active-set scheduler is built for.
+	S              float64
+	CapacityFactor float64
+	Parallelism    int
+	Incremental    bool
+	// TickEvery is the mutation-coalescing period of the background
+	// loop started by Start. Tests drive ticks directly via TickNow.
+	TickEvery time.Duration
+	// MaxStepsPerTick bounds the heuristic iterations run to absorb one
+	// tick's batch; convergence usually stops a tick much earlier.
+	MaxStepsPerTick int
+	// ConvergenceWindow is the quiet-iteration window after which the
+	// partitioner counts as converged (the paper uses 30).
+	ConvergenceWindow int
+	// CheckpointPath, when set, is where POST /v1/checkpoint (with no
+	// explicit path), the periodic checkpointer and the shutdown drain
+	// write snapshots.
+	CheckpointPath string
+	// CheckpointEvery auto-checkpoints every n ticks (0 disables).
+	// Requires CheckpointPath.
+	CheckpointEvery int
+}
+
+// DefaultConfig returns the daemon's standard setting: the paper's
+// heuristic parameters, incremental scheduling, a 250 ms coalescing tick
+// and a per-tick iteration budget of ConvergenceWindow+10 (enough to
+// absorb a batch and prove quiescence).
+func DefaultConfig(k int, seed int64) Config {
+	return Config{
+		K:                 k,
+		Seed:              seed,
+		S:                 0.5,
+		CapacityFactor:    1.10,
+		Parallelism:       1,
+		Incremental:       true,
+		TickEvery:         250 * time.Millisecond,
+		MaxStepsPerTick:   40,
+		ConvergenceWindow: 30,
+	}
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("server: K must be ≥ 1, got %d", c.K)
+	}
+	if c.MaxStepsPerTick < 1 {
+		return fmt.Errorf("server: MaxStepsPerTick must be ≥ 1, got %d", c.MaxStepsPerTick)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("server: CheckpointEvery=%d requires CheckpointPath", c.CheckpointEvery)
+	}
+	return nil
+}
+
+func (c Config) coreConfig() core.Config {
+	cc := core.DefaultConfig(c.K, c.Seed)
+	cc.S = c.S
+	cc.CapacityFactor = c.CapacityFactor
+	cc.Parallelism = c.Parallelism
+	cc.Incremental = c.Incremental
+	cc.ConvergenceWindow = c.ConvergenceWindow
+	cc.RecordEvery = 0
+	cc.MaxIterations = math.MaxInt32 // Step-driven; Run's bound is unused
+	return cc
+}
+
+// Server is the daemon state. Construct with New or Restore, serve its
+// Handler, and either Start the background tick loop or drive TickNow
+// directly.
+type Server struct {
+	cfg     Config
+	coreCfg core.Config
+
+	// mu guards the partitioner (graph + assignment + scheduler state).
+	mu   sync.RWMutex
+	part *core.Partitioner
+
+	// pendMu guards the ingest queue; never held together with mu.
+	pendMu      sync.Mutex
+	pending     graph.Batch
+	oldestUnixN int64 // UnixNano of the oldest pending mutation, 0 when empty
+
+	// Monotonic counters, atomically updated, exported by /metrics.
+	ingested     atomic.Uint64 // mutations accepted over HTTP
+	applied      atomic.Uint64 // mutations that changed the graph
+	ticks        atomic.Uint64 // coalescing ticks processed
+	iterations   atomic.Uint64 // heuristic iterations executed
+	examined     atomic.Uint64 // per-vertex decisions evaluated
+	migrations   atomic.Uint64 // granted moves
+	checkpoints  atomic.Uint64 // snapshots written
+	ckptFailures atomic.Uint64 // periodic/drain checkpoint attempts that failed
+	lastBatch    atomic.Int64  // size of the last coalesced batch
+	lastCkptUnx  atomic.Int64  // unix seconds of the last checkpoint
+
+	mux      *http.ServeMux
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// New creates a daemon over an empty graph: every vertex it will ever
+// serve arrives through the mutation stream.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	coreCfg := cfg.coreConfig()
+	g := graph.NewUndirected(0)
+	p, err := core.New(g, partition.NewAssignment(0, cfg.K), coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	return newServer(cfg, coreCfg, p), nil
+}
+
+// Restore creates a daemon resuming from a snapshot: graph, assignment,
+// convergence bookkeeping, scheduler frontier and RNG positions all
+// continue exactly where the checkpointed daemon stopped. The snapshot's
+// algorithm parameters override cfg's (K, Seed, S, CapacityFactor,
+// Parallelism, Incremental, ConvergenceWindow) — a daemon cannot change
+// the algorithm mid-stream without forfeiting determinism — while cfg's
+// serving knobs (tick period, step budget, checkpoint policy) apply.
+func Restore(cfg Config, snap *snapshot.Snapshot) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	coreCfg := snap.Params.Config()
+	coreCfg.RecordEvery = 0
+	p, err := snap.NewPartitioner()
+	if err != nil {
+		return nil, err
+	}
+	cfg.K = snap.Params.K
+	cfg.Seed = snap.Params.Seed
+	cfg.S = snap.Params.S
+	cfg.CapacityFactor = snap.Params.CapacityFactor
+	cfg.Parallelism = snap.Params.Parallelism
+	cfg.Incremental = snap.Params.Incremental
+	cfg.ConvergenceWindow = snap.Params.ConvergenceWindow
+	s := newServer(cfg, coreCfg, p)
+	s.ticks.Store(snap.Meta.Ticks)
+	s.ingested.Store(snap.Meta.MutationsIngested)
+	s.applied.Store(snap.Meta.MutationsApplied)
+	return s, nil
+}
+
+func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
+	s := &Server{
+		cfg:      cfg,
+		coreCfg:  coreCfg,
+		part:     p,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	s.mux = s.routes()
+	return s
+}
+
+// Config returns the serving configuration (after any snapshot
+// overrides).
+func (s *Server) Config() Config { return s.cfg }
+
+// Enqueue appends mutations to the pending batch consumed by the next
+// tick. It never blocks on adaptation. Returns the queue length after
+// the append.
+func (s *Server) Enqueue(b graph.Batch) int {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if len(s.pending) == 0 && len(b) > 0 {
+		s.oldestUnixN = time.Now().UnixNano()
+	}
+	s.pending = append(s.pending, b...)
+	s.ingested.Add(uint64(len(b)))
+	return len(s.pending)
+}
+
+// PendingMutations returns the current ingest-queue length and the age
+// of its oldest entry (zero when empty) — the daemon's ingest lag.
+func (s *Server) PendingMutations() (n int, age time.Duration) {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if len(s.pending) > 0 {
+		age = time.Duration(time.Now().UnixNano() - s.oldestUnixN)
+	}
+	return len(s.pending), age
+}
+
+// TickResult reports one coalescing tick.
+type TickResult struct {
+	BatchSize  int  // mutations coalesced into this tick
+	Applied    int  // mutations that changed the graph
+	Steps      int  // heuristic iterations run
+	Migrations int  // moves granted across those iterations
+	Examined   int  // vertex decisions evaluated across those iterations
+	Converged  bool // partitioner quiescent after the tick
+	Checkpoint bool // periodic checkpoint written after the tick
+}
+
+// TickNow runs one coalescing tick synchronously: swap out the pending
+// batch, apply it, and run heuristic iterations until convergence or the
+// per-tick budget. The background loop calls it on every TickEvery; tests
+// and the drain path call it directly.
+func (s *Server) TickNow() TickResult {
+	s.pendMu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.oldestUnixN = 0
+	s.pendMu.Unlock()
+
+	var res TickResult
+	res.BatchSize = len(batch)
+	s.lastBatch.Store(int64(len(batch)))
+
+	// Counter updates happen inside the same critical section as the
+	// state change they describe, so a concurrent Checkpoint (read
+	// lock) always captures Meta counters consistent with the graph.
+	s.mu.Lock()
+	if len(batch) > 0 {
+		res.Applied = s.part.ApplyBatch(batch)
+		s.applied.Add(uint64(res.Applied))
+	}
+	converged := s.part.Converged()
+	s.mu.Unlock()
+
+	// A converged partitioner with nothing new to absorb: an idle tick
+	// costs two mutex operations and no iterations.
+	for !converged && res.Steps < s.cfg.MaxStepsPerTick {
+		s.mu.Lock()
+		st := s.part.Step()
+		converged = s.part.Converged()
+		s.iterations.Add(1)
+		s.migrations.Add(uint64(st.Migrations))
+		s.examined.Add(uint64(st.Examined))
+		s.mu.Unlock()
+		res.Steps++
+		res.Migrations += st.Migrations
+		res.Examined += st.Examined
+	}
+	res.Converged = converged
+	tick := s.ticks.Add(1)
+
+	if s.cfg.CheckpointEvery > 0 && tick%uint64(s.cfg.CheckpointEvery) == 0 {
+		if _, err := s.Checkpoint(s.cfg.CheckpointPath); err == nil {
+			res.Checkpoint = true
+		} else {
+			s.ckptFailures.Add(1)
+		}
+	}
+	return res
+}
+
+// Checkpoint captures the full daemon state and atomically writes it to
+// path (cfg.CheckpointPath when path is empty). Safe to call while
+// serving: capture holds the read lock, the file write happens outside
+// all locks.
+func (s *Server) Checkpoint(path string) (*snapshot.Snapshot, error) {
+	if path == "" {
+		path = s.cfg.CheckpointPath
+	}
+	if path == "" {
+		return nil, fmt.Errorf("server: no checkpoint path configured")
+	}
+	s.mu.RLock()
+	// Counters are read under the same lock that freezes the partitioner,
+	// so the snapshot's Meta always agrees with its captured graph (tick
+	// mutations update both inside the write-lock window).
+	meta := snapshot.Meta{
+		Ticks:             s.ticks.Load(),
+		MutationsIngested: s.ingested.Load(),
+		MutationsApplied:  s.applied.Load(),
+		CreatedUnix:       time.Now().Unix(),
+	}
+	snap, err := snapshot.Capture(s.part, s.coreCfg, meta)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := snapshot.Save(path, snap); err != nil {
+		return nil, err
+	}
+	s.checkpoints.Add(1)
+	s.lastCkptUnx.Store(meta.CreatedUnix)
+	return snap, nil
+}
+
+// Start launches the background tick loop. Stop (or Drain) terminates
+// it. Calling Start twice is a no-op.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(s.loopDone)
+		ticker := time.NewTicker(s.cfg.TickEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.TickNow()
+			}
+		}
+	}()
+}
+
+// Stop terminates the background tick loop and waits for it to exit.
+// Idempotent; a server that never Started returns immediately.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.loopDone
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop the tick loop,
+// absorb every pending mutation (ticking until the queue is empty and
+// the partitioner converges or maxTicks elapse), and write a final
+// checkpoint when one is configured. It returns the number of drain
+// ticks executed and the final checkpoint's error — a failed final
+// snapshot must surface to the operator (data since the last good
+// checkpoint would otherwise be silently unrecoverable).
+func (s *Server) Drain(maxTicks int) (int, error) {
+	s.Stop()
+	n := 0
+	for ; n < maxTicks; n++ {
+		res := s.TickNow()
+		pending, _ := s.PendingMutations()
+		if pending == 0 && res.Converged {
+			n++
+			break
+		}
+	}
+	if s.cfg.CheckpointPath != "" {
+		if _, err := s.Checkpoint(s.cfg.CheckpointPath); err != nil {
+			s.ckptFailures.Add(1)
+			return n, fmt.Errorf("final checkpoint: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// Stats is the point-in-time summary served by GET /v1/stats.
+type Stats struct {
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	K              int     `json:"k"`
+	PartitionSizes []int   `json:"partition_sizes"`
+	CutEdges       int     `json:"cut_edges"`
+	CutRatio       float64 `json:"cut_ratio"`
+	Imbalance      float64 `json:"imbalance"`
+	Iteration      int     `json:"iteration"`
+	Converged      bool    `json:"converged"`
+	DirtyCount     int     `json:"dirty_count"`
+	Ticks          uint64  `json:"ticks"`
+	Ingested       uint64  `json:"mutations_ingested"`
+	Applied        uint64  `json:"mutations_applied"`
+	Pending        int     `json:"mutations_pending"`
+	Checkpoints    uint64  `json:"checkpoints"`
+	Incremental    bool    `json:"incremental"`
+	Parallelism    int     `json:"parallelism"`
+}
+
+// Stats assembles the current summary. Cut statistics scan every edge
+// (O(|E|)), which is why they live here and on /v1/stats rather than on
+// the high-frequency /metrics scrape path.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	g := s.part.Graph()
+	asn := s.part.Assignment()
+	st := Stats{
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		K:              s.cfg.K,
+		PartitionSizes: asn.Sizes(),
+		CutEdges:       partition.CutEdges(g, asn),
+		Imbalance:      partition.Imbalance(asn),
+		Iteration:      s.part.Iteration(),
+		Converged:      s.part.Converged(),
+		DirtyCount:     s.part.DirtyCount(),
+		Incremental:    s.cfg.Incremental,
+		Parallelism:    s.part.Parallelism(),
+	}
+	s.mu.RUnlock()
+	if st.Edges > 0 {
+		st.CutRatio = float64(st.CutEdges) / float64(st.Edges)
+	}
+	st.Ticks = s.ticks.Load()
+	st.Ingested = s.ingested.Load()
+	st.Applied = s.applied.Load()
+	st.Checkpoints = s.checkpoints.Load()
+	st.Pending, _ = s.PendingMutations()
+	return st
+}
+
+// Placement returns the partition of v, with ok=false when v is not a
+// live assigned vertex (it may still be in the pending ingest queue).
+func (s *Server) Placement(v graph.VertexID) (partition.ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.part.Graph().Has(v) {
+		return partition.None, false
+	}
+	p := s.part.Assignment().Of(v)
+	return p, p != partition.None
+}
+
+var _ http.Handler = (*Server)(nil)

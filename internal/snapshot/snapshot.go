@@ -1,0 +1,487 @@
+// Package snapshot implements the versioned binary checkpoint format of
+// the streaming partition daemon (cmd/apartd): a single file capturing
+// the complete partitioner state — graph topology (including slot layout
+// and free-list order), partition assignment, algorithm parameters,
+// convergence bookkeeping, active-set scheduler state and RNG positions —
+// so that a restarted daemon resumes deterministically mid-stream.
+//
+// Format (little-endian throughout):
+//
+//	[8]byte  magic "XDGPSNAP"
+//	u32      version (currently 1)
+//	params   fixed-width algorithm parameters (see Params)
+//	meta     daemon counters (see Meta)
+//	u64 len + graph payload      (graph.EncodeBinary)
+//	i32 k, u32 slots, slots×i32  assignment table (partition.None = -1)
+//	core     counters, serialized PCG states, optional active-set state
+//	u32      CRC-32 (IEEE) of every preceding byte
+//
+// The trailing checksum makes torn or bit-rotted files fail loudly on
+// Load; Save writes to a temporary file in the target directory and
+// renames it into place, so a crash mid-checkpoint never clobbers the
+// previous good snapshot.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"xdgp/internal/activeset"
+	"xdgp/internal/core"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// Magic identifies a snapshot file; Version is the current format
+// revision. Readers reject other magics and future versions.
+const (
+	Magic   = "XDGPSNAP"
+	Version = 1
+)
+
+// maxSectionBytes bounds any length-prefixed section a reader will
+// allocate for, so a corrupt header cannot request gigabytes.
+const maxSectionBytes = 1 << 31
+
+// Params are the algorithm parameters a snapshot was taken under. They
+// mirror core.Config minus the non-serializable Placer hook;
+// Parallelism is the *resolved* shard count (never 0), so a snapshot
+// taken on an 8-core host restores with 8 shards — and therefore
+// byte-identical random streams — regardless of the restoring host.
+type Params struct {
+	K                 int
+	CapacityFactor    float64
+	S                 float64
+	ConvergenceWindow int
+	MaxIterations     int
+	Seed              int64
+	Parallelism       int
+	Incremental       bool
+	RecordEvery       int
+	BalanceEdges      bool
+	DisableQuotas     bool
+}
+
+// ParamsOf derives the serializable parameters from a live partitioner's
+// configuration, resolving Parallelism to the running shard count.
+func ParamsOf(cfg core.Config, resolvedParallelism int) Params {
+	return Params{
+		K:                 cfg.K,
+		CapacityFactor:    cfg.CapacityFactor,
+		S:                 cfg.S,
+		ConvergenceWindow: cfg.ConvergenceWindow,
+		MaxIterations:     cfg.MaxIterations,
+		Seed:              cfg.Seed,
+		Parallelism:       resolvedParallelism,
+		Incremental:       cfg.Incremental,
+		RecordEvery:       cfg.RecordEvery,
+		BalanceEdges:      cfg.BalanceEdges,
+		DisableQuotas:     cfg.DisableQuotas,
+	}
+}
+
+// Config reconstructs the core configuration the snapshot was taken
+// under. Placer is nil: the daemon's hash-with-fallback default, which is
+// the only placement a snapshot can faithfully resume.
+func (p Params) Config() core.Config {
+	return core.Config{
+		K:                 p.K,
+		CapacityFactor:    p.CapacityFactor,
+		S:                 p.S,
+		ConvergenceWindow: p.ConvergenceWindow,
+		MaxIterations:     p.MaxIterations,
+		Seed:              p.Seed,
+		Parallelism:       p.Parallelism,
+		Incremental:       p.Incremental,
+		RecordEvery:       p.RecordEvery,
+		BalanceEdges:      p.BalanceEdges,
+		DisableQuotas:     p.DisableQuotas,
+	}
+}
+
+// Meta carries the daemon's stream-position counters, so a restarted
+// daemon reports cumulative totals and operators can correlate a
+// snapshot with the stream offset it covers.
+type Meta struct {
+	// Ticks is the number of coalescing ticks processed.
+	Ticks uint64
+	// MutationsIngested counts mutations accepted over HTTP.
+	MutationsIngested uint64
+	// MutationsApplied counts mutations that changed the graph.
+	MutationsApplied uint64
+	// CreatedUnix is the checkpoint wall-clock time (seconds); zero when
+	// unknown. Informational only — restore logic never reads it.
+	CreatedUnix int64
+}
+
+// Snapshot is the in-memory form of a checkpoint.
+type Snapshot struct {
+	Params     Params
+	Meta       Meta
+	Graph      *graph.Graph
+	Assignment *partition.Assignment
+	Core       core.State
+}
+
+// Capture assembles a snapshot from a live partitioner. The graph and
+// assignment are deep-copied (Clone/Table), so the returned snapshot is
+// immutable with respect to further partitioner progress; serialization
+// happens only in Write, keeping Capture cheap — callers typically hold
+// a lock that pauses adaptation while it runs. The caller must not run
+// Step/ApplyBatch concurrently.
+func Capture(p *core.Partitioner, cfg core.Config, meta Meta) (*Snapshot, error) {
+	asn, err := partition.FromTable(p.Assignment().Table(), cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: copy assignment: %w", err)
+	}
+	return &Snapshot{
+		Params:     ParamsOf(cfg, p.Parallelism()),
+		Meta:       meta,
+		Graph:      p.Graph().Clone(),
+		Assignment: asn,
+		Core:       p.ExportState(),
+	}, nil
+}
+
+// NewPartitioner restores a live partitioner from the snapshot. The
+// snapshot's graph and assignment are adopted by the partitioner (call
+// Read again for an independent copy).
+func (s *Snapshot) NewPartitioner() (*core.Partitioner, error) {
+	return core.Restore(s.Graph, s.Assignment, s.Params.Config(), s.Core)
+}
+
+// Write serializes the snapshot to w in the versioned binary format.
+func Write(w io.Writer, s *Snapshot) error {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	putU32(&buf, Version)
+
+	// Params.
+	putI64(&buf, int64(s.Params.K))
+	putF64(&buf, s.Params.CapacityFactor)
+	putF64(&buf, s.Params.S)
+	putI64(&buf, int64(s.Params.ConvergenceWindow))
+	putI64(&buf, int64(s.Params.MaxIterations))
+	putI64(&buf, s.Params.Seed)
+	putI64(&buf, int64(s.Params.Parallelism))
+	putBool(&buf, s.Params.Incremental)
+	putI64(&buf, int64(s.Params.RecordEvery))
+	putBool(&buf, s.Params.BalanceEdges)
+	putBool(&buf, s.Params.DisableQuotas)
+
+	// Meta.
+	putU64(&buf, s.Meta.Ticks)
+	putU64(&buf, s.Meta.MutationsIngested)
+	putU64(&buf, s.Meta.MutationsApplied)
+	putI64(&buf, s.Meta.CreatedUnix)
+
+	// Graph, length-prefixed.
+	var gbuf bytes.Buffer
+	if err := s.Graph.EncodeBinary(&gbuf); err != nil {
+		return fmt.Errorf("snapshot: encode graph: %w", err)
+	}
+	putU64(&buf, uint64(gbuf.Len()))
+	buf.Write(gbuf.Bytes())
+
+	// Assignment.
+	table := s.Assignment.Table()
+	putI64(&buf, int64(s.Assignment.K()))
+	putU32(&buf, uint32(len(table)))
+	for _, p := range table {
+		putU32(&buf, uint32(int32(p)))
+	}
+
+	// Core state.
+	putI64(&buf, int64(s.Core.Iteration))
+	putI64(&buf, int64(s.Core.Quiet))
+	putI64(&buf, int64(s.Core.LastMigration))
+	putBytes(&buf, s.Core.RNG)
+	putU32(&buf, uint32(len(s.Core.ShardRNGs)))
+	for _, b := range s.Core.ShardRNGs {
+		putBytes(&buf, b)
+	}
+	putBool(&buf, s.Core.Active != nil)
+	if s.Core.Active != nil {
+		putVertexList(&buf, s.Core.Active.Frontier)
+		putU32(&buf, uint32(len(s.Core.Active.Parked)))
+		for _, list := range s.Core.Active.Parked {
+			putVertexList(&buf, list)
+		}
+	}
+
+	putU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Read parses a snapshot previously produced by Write, verifying the
+// magic, version and checksum before interpreting any content.
+func Read(r io.Reader) (*Snapshot, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, maxSectionBytes))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	if len(raw) < len(Magic)+8 {
+		return nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(raw))
+	}
+	if string(raw[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", raw[:len(Magic)])
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x) — truncated or corrupt", sum, got)
+	}
+	d := &decoder{buf: body[len(Magic):]}
+	if v := d.u32(); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (supported: %d)", v, Version)
+	}
+
+	var s Snapshot
+	s.Params.K = int(d.i64())
+	s.Params.CapacityFactor = d.f64()
+	s.Params.S = d.f64()
+	s.Params.ConvergenceWindow = int(d.i64())
+	s.Params.MaxIterations = int(d.i64())
+	s.Params.Seed = d.i64()
+	s.Params.Parallelism = int(d.i64())
+	s.Params.Incremental = d.bool()
+	s.Params.RecordEvery = int(d.i64())
+	s.Params.BalanceEdges = d.bool()
+	s.Params.DisableQuotas = d.bool()
+
+	s.Meta.Ticks = d.u64()
+	s.Meta.MutationsIngested = d.u64()
+	s.Meta.MutationsApplied = d.u64()
+	s.Meta.CreatedUnix = d.i64()
+
+	glen := d.u64()
+	if d.err == nil && glen > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("graph section claims %d bytes, %d remain", glen, len(d.buf))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", d.err)
+	}
+	g, err := graph.DecodeGraph(bytes.NewReader(d.buf[:glen]))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	d.buf = d.buf[glen:]
+	s.Graph = g
+
+	k := int(d.i64())
+	slots := d.u32()
+	if d.err == nil && int(slots) != g.NumSlots() {
+		d.err = fmt.Errorf("assignment covers %d slots, graph has %d", slots, g.NumSlots())
+	}
+	table := make([]partition.ID, 0, slots)
+	for i := uint32(0); i < slots && d.err == nil; i++ {
+		table = append(table, partition.ID(int32(d.u32())))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", d.err)
+	}
+	asn, err := partition.FromTable(table, k)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s.Assignment = asn
+
+	s.Core.Iteration = int(d.i64())
+	s.Core.Quiet = int(d.i64())
+	s.Core.LastMigration = int(d.i64())
+	s.Core.RNG = d.bytes()
+	nShards := d.u32()
+	if d.err == nil && nShards > 1<<16 {
+		d.err = fmt.Errorf("implausible shard count %d", nShards)
+	}
+	for i := uint32(0); i < nShards && d.err == nil; i++ {
+		s.Core.ShardRNGs = append(s.Core.ShardRNGs, d.bytes())
+	}
+	if d.bool() {
+		var st activeset.State
+		st.Frontier = d.vertexList()
+		nPark := d.u32()
+		if d.err == nil && int(nPark) != k {
+			d.err = fmt.Errorf("active-set state has %d park lists, k=%d", nPark, k)
+		}
+		for j := uint32(0); j < nPark && d.err == nil; j++ {
+			st.Parked = append(st.Parked, d.vertexList())
+		}
+		s.Core.Active = &st
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after core state", len(d.buf))
+	}
+	return &s, nil
+}
+
+// Save atomically writes the snapshot to path: the bytes land in a
+// temporary file in the same directory, are fsynced, and replace path in
+// one rename. A concurrent crash leaves either the old snapshot or the
+// new one, never a torn file.
+func Save(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := Write(tmp, s); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: load %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// decoder walks a byte slice with sticky-error semantics: after the
+// first failure every accessor returns zero values.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.err = fmt.Errorf("invalid boolean byte %d", b[0])
+		return false
+	}
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("byte string claims %d bytes, %d remain", n, len(d.buf))
+		return nil
+	}
+	return append([]byte(nil), d.take(int(n))...)
+}
+
+func (d *decoder) vertexList() []graph.VertexID {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n)*4 > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("vertex list claims %d entries, %d bytes remain", n, len(d.buf))
+		return nil
+	}
+	list := make([]graph.VertexID, n)
+	for i := range list {
+		list[i] = graph.VertexID(int32(d.u32()))
+	}
+	return list
+}
+
+func putU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func putU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func putI64(buf *bytes.Buffer, v int64) { putU64(buf, uint64(v)) }
+
+func putF64(buf *bytes.Buffer, v float64) { putU64(buf, math.Float64bits(v)) }
+
+func putBool(buf *bytes.Buffer, v bool) {
+	if v {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+}
+
+func putBytes(buf *bytes.Buffer, b []byte) {
+	putU32(buf, uint32(len(b)))
+	buf.Write(b)
+}
+
+func putVertexList(buf *bytes.Buffer, list []graph.VertexID) {
+	putU32(buf, uint32(len(list)))
+	for _, v := range list {
+		putU32(buf, uint32(int32(v)))
+	}
+}
