@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Coverage gate: runs the internal packages with -coverprofile and fails
+# when total statement coverage drops below the committed baseline
+# (ci/coverage-baseline.txt) minus a small tolerance for run-to-run
+# variance in concurrent paths.
+#
+# Raise the baseline after landing tests that lift coverage:
+#
+#   ./ci/coverage.sh --update
+#
+# which re-measures and rewrites ci/coverage-baseline.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE=${TOLERANCE:-0.5} # percentage points
+
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -coverprofile="$profile" ./internal/... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')
+
+if [ "${1:-}" = "--update" ]; then
+  echo "$total" > ci/coverage-baseline.txt
+  echo "coverage baseline updated to ${total}%"
+  exit 0
+fi
+
+baseline=$(cat ci/coverage-baseline.txt)
+floor=$(awk -v b="$baseline" -v t="$TOLERANCE" 'BEGIN { printf "%.1f", b - t }')
+
+echo "total coverage: ${total}% (baseline ${baseline}%, floor ${floor}%)"
+if awk -v c="$total" -v f="$floor" 'BEGIN { exit !(c < f) }'; then
+  echo "FAIL: coverage ${total}% fell below the floor ${floor}%" >&2
+  echo "Either add tests or, for a justified drop, update ci/coverage-baseline.txt." >&2
+  exit 1
+fi
+echo "coverage gate OK"

@@ -3,11 +3,20 @@
 // graphs used in the paper's evaluation can be inspected or fed to other
 // tools.
 //
+// With -stream the edges go straight to the output as they are generated,
+// without materialising the graph: O(1) memory for meshes and O(edges)
+// endpoint words (no adjacency) for -ba preferential attachment. That is
+// how the 10M-vertex nightly scenario generates its input. -dataset and
+// -plc need the full graph (triad formation reads the adjacency) and
+// reject -stream.
+//
 // Examples:
 //
 //	gengraph -dataset 64kcube > 64kcube.edges
 //	gengraph -mesh 20x20x20 -out mesh.edges
 //	gengraph -plc 10000:13 -seed 7
+//	gengraph -mesh 220x220x220 -stream -out mesh10m.edges
+//	gengraph -ba 10000000:3 -stream -seed 7 -out ba10m.edges
 package main
 
 import (
@@ -35,16 +44,23 @@ func run(args []string) error {
 		dataset = fs.String("dataset", "", "named dataset from Table 1")
 		mesh    = fs.String("mesh", "", "generate an NXxNYxNZ mesh, e.g. 20x20x20")
 		plc     = fs.String("plc", "", "generate a Holme–Kim graph as N:M, e.g. 10000:13")
+		ba      = fs.String("ba", "", "generate a Barabási–Albert graph as N:M, e.g. 1000000:3")
 		seed    = fs.Int64("seed", 1, "random seed")
 		out     = fs.String("out", "", "output file (default stdout)")
+		stream  = fs.Bool("stream", false, "stream edges to the output without materialising the graph (-mesh and -ba only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	g, err := build(*dataset, *mesh, *plc, *seed)
-	if err != nil {
-		return err
+	set := 0
+	for _, s := range []string{*dataset, *mesh, *plc, *ba} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("specify exactly one of -dataset, -mesh, -plc, -ba")
 	}
 
 	var w io.Writer = os.Stdout
@@ -54,11 +70,20 @@ func run(args []string) error {
 			return err
 		}
 		defer func() {
-			if cerr := f.Close(); cerr != nil && err == nil {
-				err = cerr
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "gengraph: close:", cerr)
 			}
 		}()
 		w = f
+	}
+
+	if *stream {
+		return runStream(w, *mesh, *ba, *seed)
+	}
+
+	g, err := build(*dataset, *mesh, *plc, *ba, *seed)
+	if err != nil {
+		return err
 	}
 	if err := g.WriteEdgeList(w); err != nil {
 		return err
@@ -67,16 +92,26 @@ func run(args []string) error {
 	return nil
 }
 
-func build(dataset, mesh, plc string, seed int64) (*graph.Graph, error) {
-	set := 0
-	for _, s := range []string{dataset, mesh, plc} {
-		if s != "" {
-			set++
+func runStream(w io.Writer, mesh, ba string, seed int64) error {
+	switch {
+	case mesh != "":
+		nx, ny, nz, err := parseMesh(mesh)
+		if err != nil {
+			return err
 		}
+		return gen.StreamMesh3D(w, nx, ny, nz)
+	case ba != "":
+		n, m, err := parseNM("-ba", ba)
+		if err != nil {
+			return err
+		}
+		return gen.StreamBarabasiAlbert(w, n, m, seed)
+	default:
+		return fmt.Errorf("-stream requires -mesh or -ba (-dataset and -plc build adjacency the generator must read back)")
 	}
-	if set != 1 {
-		return nil, fmt.Errorf("specify exactly one of -dataset, -mesh, -plc")
-	}
+}
+
+func build(dataset, mesh, plc, ba string, seed int64) (*graph.Graph, error) {
 	switch {
 	case dataset != "":
 		d, err := gen.ByName(dataset)
@@ -85,29 +120,56 @@ func build(dataset, mesh, plc string, seed int64) (*graph.Graph, error) {
 		}
 		return d.Build(seed), nil
 	case mesh != "":
-		dims := strings.Split(mesh, "x")
-		if len(dims) != 3 {
-			return nil, fmt.Errorf("-mesh wants NXxNYxNZ, got %q", mesh)
+		nx, ny, nz, err := parseMesh(mesh)
+		if err != nil {
+			return nil, err
 		}
-		var n [3]int
-		for i, d := range dims {
-			v, err := strconv.Atoi(d)
-			if err != nil || v < 1 {
-				return nil, fmt.Errorf("-mesh dimension %q invalid", d)
-			}
-			n[i] = v
+		return gen.Mesh3D(nx, ny, nz), nil
+	case ba != "":
+		n, m, err := parseNM("-ba", ba)
+		if err != nil {
+			return nil, err
 		}
-		return gen.Mesh3D(n[0], n[1], n[2]), nil
+		return gen.BarabasiAlbert(n, m, seed), nil
 	default:
-		parts := strings.Split(plc, ":")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("-plc wants N:M, got %q", plc)
-		}
-		n, err1 := strconv.Atoi(parts[0])
-		m, err2 := strconv.Atoi(parts[1])
-		if err1 != nil || err2 != nil || n < 2 || m < 1 {
-			return nil, fmt.Errorf("-plc arguments invalid: %q", plc)
+		n, m, err := parseNM("-plc", plc)
+		if err != nil {
+			return nil, err
 		}
 		return gen.HolmeKim(n, m, 0.1, seed), nil
 	}
+}
+
+func parseMesh(mesh string) (nx, ny, nz int, err error) {
+	dims := strings.Split(mesh, "x")
+	if len(dims) != 3 {
+		return 0, 0, 0, fmt.Errorf("-mesh wants NXxNYxNZ, got %q", mesh)
+	}
+	var n [3]int
+	for i, d := range dims {
+		v, err := strconv.Atoi(d)
+		if err != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("-mesh dimension %q invalid", d)
+		}
+		n[i] = v
+	}
+	return n[0], n[1], n[2], nil
+}
+
+func parseNM(flagName, val string) (n, m int, err error) {
+	parts := strings.Split(val, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%s wants N:M, got %q", flagName, val)
+	}
+	n, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || n < 2 || m < 1 {
+		return 0, 0, fmt.Errorf("%s arguments invalid: %q", flagName, val)
+	}
+	if flagName == "-ba" && n < m+1 {
+		// The generators clamp n up to m+1 silently; the CLI should not
+		// emit a different-sized graph than requested.
+		return 0, 0, fmt.Errorf("-ba needs N ≥ M+1, got %q", val)
+	}
+	return n, m, nil
 }

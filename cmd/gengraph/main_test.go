@@ -1,52 +1,70 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"xdgp/internal/gen"
 	"xdgp/internal/graph"
 )
 
 func TestBuildVariants(t *testing.T) {
-	g, err := build("plc1000", "", "", 1)
+	g, err := build("plc1000", "", "", "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.NumVertices() != 1000 {
 		t.Fatalf("dataset build |V| = %d", g.NumVertices())
 	}
-	g, err = build("", "3x4x5", "", 1)
+	g, err = build("", "3x4x5", "", "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.NumVertices() != 60 {
 		t.Fatalf("mesh build |V| = %d", g.NumVertices())
 	}
-	g, err = build("", "", "500:3", 1)
+	g, err = build("", "", "500:3", "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.NumVertices() != 500 {
 		t.Fatalf("plc build |V| = %d", g.NumVertices())
 	}
+	g, err = build("", "", "", "400:2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 400 {
+		t.Fatalf("ba build |V| = %d", g.NumVertices())
+	}
 }
 
 func TestBuildErrors(t *testing.T) {
-	cases := []struct{ dataset, mesh, plc string }{
-		{"", "", ""},       // nothing specified
-		{"x", "1x1x1", ""}, // two specified
-		{"nope", "", ""},   // unknown dataset
-		{"", "3x4", ""},    // bad mesh dims
-		{"", "axbxc", ""},  // non-numeric mesh
-		{"", "", "500"},    // bad plc
-		{"", "", "1:0"},    // bad plc m
+	cases := []struct{ dataset, mesh, plc, ba string }{
+		{"", "", "", ""},      // nothing specified: falls through to plc parsing
+		{"nope", "", "", ""},  // unknown dataset
+		{"", "3x4", "", ""},   // bad mesh dims
+		{"", "axbxc", "", ""}, // non-numeric mesh
+		{"", "", "500", ""},   // bad plc
+		{"", "", "1:0", ""},   // bad plc m
+		{"", "", "", "10"},    // bad ba
+		{"", "", "", "10:0"},  // bad ba m
+		{"", "", "", "2:5"},   // ba n < m+1 (generator would silently resize)
 	}
 	for _, c := range cases {
-		if _, err := build(c.dataset, c.mesh, c.plc, 1); err == nil {
-			t.Errorf("build(%q,%q,%q): expected error", c.dataset, c.mesh, c.plc)
+		if _, err := build(c.dataset, c.mesh, c.plc, c.ba, 1); err == nil {
+			t.Errorf("build(%q,%q,%q,%q): expected error", c.dataset, c.mesh, c.plc, c.ba)
 		}
+	}
+	// Mutually exclusive flags are rejected by run, not build.
+	if err := run([]string{"-dataset", "plc1000", "-mesh", "1x1x1"}); err == nil {
+		t.Error("two inputs: expected error")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("no inputs: expected error")
 	}
 }
 
@@ -66,5 +84,73 @@ func TestRunWritesFile(t *testing.T) {
 	}
 	if g.NumVertices() != 8 || g.NumEdges() != 12 {
 		t.Fatalf("emitted cube has |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// TestStreamMeshMatchesMaterialized is the -stream smoke test: the
+// streamed mesh must be byte-identical to the materialised path, so the
+// O(1)-memory generator can substitute for the full one everywhere.
+func TestStreamMeshMatchesMaterialized(t *testing.T) {
+	var materialized bytes.Buffer
+	if err := gen.Mesh3D(4, 3, 2).WriteEdgeList(&materialized); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "stream.edges")
+	if err := run([]string{"-mesh", "4x3x2", "-stream", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, materialized.Bytes()) {
+		t.Fatalf("-stream mesh output differs from materialised output:\nstream:\n%s\nmaterialised:\n%s",
+			streamed, materialized.Bytes())
+	}
+}
+
+// TestStreamBAMatchesMaterialized checks that the streamed preferential
+// attachment produces exactly the edge set of gen.BarabasiAlbert for the
+// same seed, and that the output parses back into a sound graph.
+func TestStreamBAMatchesMaterialized(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ba.edges")
+	if err := run([]string{"-ba", "300:3", "-seed", "9", "-stream", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadEdgeList(strings.NewReader(string(data)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := gen.BarabasiAlbert(300, 3, 9)
+	if g.NumVertices() != want.NumVertices() || g.NumEdges() != want.NumEdges() {
+		t.Fatalf("streamed BA |V|=%d |E|=%d, materialised |V|=%d |E|=%d",
+			g.NumVertices(), g.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	mismatch := 0
+	want.ForEachEdge(func(u, v graph.VertexID) {
+		if !g.HasEdge(u, v) {
+			mismatch++
+		}
+	})
+	if mismatch != 0 {
+		t.Fatalf("%d edges of the materialised BA graph missing from the stream", mismatch)
+	}
+}
+
+func TestStreamRejectsAdjacencyBoundModes(t *testing.T) {
+	if err := run([]string{"-plc", "100:3", "-stream"}); err == nil {
+		t.Error("-plc -stream: expected error")
+	}
+	if err := run([]string{"-dataset", "plc1000", "-stream"}); err == nil {
+		t.Error("-dataset -stream: expected error")
 	}
 }

@@ -65,13 +65,9 @@ func (s *Set) Mark(v graph.VertexID) {
 // single definition of "neighbourhood".
 func (s *Set) MarkNeighborhood(g *graph.Graph, v graph.VertexID) {
 	s.Mark(v)
-	for _, w := range g.Neighbors(v) {
-		s.Mark(w)
-	}
+	g.ForEachNeighbor(v, s.Mark)
 	if g.Directed() {
-		for _, w := range g.InNeighbors(v) {
-			s.Mark(w)
-		}
+		g.ForEachInNeighbor(v, s.Mark)
 	}
 }
 

@@ -396,18 +396,7 @@ func (s *Service) bestPartitions(g *graph.Graph, addr *partition.Assignment, v g
 		counts[i] = 0
 	}
 	counts[cur]++
-	for _, w := range g.Neighbors(v) {
-		if pw := addr.Of(w); pw != partition.None {
-			counts[pw]++
-		}
-	}
-	if g.Directed() {
-		for _, w := range g.InNeighbors(v) {
-			if pw := addr.Of(w); pw != partition.None {
-				counts[pw]++
-			}
-		}
-	}
+	countNeighborPartitions(g, addr, v, counts)
 	max := 0
 	for _, c := range counts {
 		if c > max {
@@ -426,6 +415,43 @@ func (s *Service) bestPartitions(g *graph.Graph, addr *partition.Assignment, v g
 	return s.tied
 }
 
+// countNeighborPartitions folds the partition of every neighbour of v
+// into counts — both directions on digraphs, since a cut edge costs
+// communication whichever way messages flow. Vertices untouched since
+// the last arena compaction take the inlined zero-copy fast path; dirty
+// ones go through the chunked cursor. Never allocates.
+func countNeighborPartitions(g *graph.Graph, addr *partition.Assignment, v graph.VertexID, counts []int) {
+	if nbrs, ok := g.CleanNeighbors(v); ok {
+		tally(addr, counts, nbrs)
+	} else {
+		var c graph.Cursor
+		c.Reset(g, v)
+		for chunk := c.NextChunk(); chunk != nil; chunk = c.NextChunk() {
+			tally(addr, counts, chunk)
+		}
+	}
+	if !g.Directed() {
+		return
+	}
+	if nbrs, ok := g.CleanInNeighbors(v); ok {
+		tally(addr, counts, nbrs)
+	} else {
+		var c graph.Cursor
+		c.ResetIn(g, v)
+		for chunk := c.NextChunk(); chunk != nil; chunk = c.NextChunk() {
+			tally(addr, counts, chunk)
+		}
+	}
+}
+
+func tally(addr *partition.Assignment, counts []int, nbrs []graph.VertexID) {
+	for _, w := range nbrs {
+		if pw := addr.Of(w); pw != partition.None {
+			counts[pw]++
+		}
+	}
+}
+
 // bestOtherPartitions returns the tied argmax destinations over
 // |Γ(v) ∩ P(i)| excluding the current partition — the fallback used by
 // the hot-spot drain, which must leave even when staying is optimal.
@@ -434,18 +460,7 @@ func (s *Service) bestOtherPartitions(g *graph.Graph, addr *partition.Assignment
 	for i := range counts {
 		counts[i] = 0
 	}
-	for _, w := range g.Neighbors(v) {
-		if pw := addr.Of(w); pw != partition.None {
-			counts[pw]++
-		}
-	}
-	if g.Directed() {
-		for _, w := range g.InNeighbors(v) {
-			if pw := addr.Of(w); pw != partition.None {
-				counts[pw]++
-			}
-		}
-	}
+	countNeighborPartitions(g, addr, v, counts)
 	max := -1
 	for i, c := range counts {
 		if partition.ID(i) != cur && c > max {

@@ -74,15 +74,20 @@ func (c *VertexContext) SetValue(v any) { c.engine.values[c.id] = v }
 // Degree returns the vertex's out-degree.
 func (c *VertexContext) Degree() int { return c.engine.g.Degree(c.id) }
 
-// Neighbors returns the vertex's out-neighbours. Deliberately zero-copy —
-// it is called once per vertex per superstep, the engine's hottest read —
-// so unlike the engine's barrier-time accessors (WorkerCosts, History,
-// MutatedVertices) the slice is owned by the engine's graph and must not
-// be mutated or retained.
+// Neighbors returns the vertex's out-neighbours. For vertices untouched
+// since the last arena compaction this is a zero-copy view of the graph's
+// CSR arena (the common case — mutations fold in at the superstep
+// barrier); recently-mutated vertices materialise a fresh slice. Either
+// way the slice must not be mutated or retained; allocation-averse
+// programs iterate with NeighborCursor instead.
 func (c *VertexContext) Neighbors() []graph.VertexID { return c.engine.g.Neighbors(c.id) }
 
+// NeighborCursor returns an allocation-free iterator over the vertex's
+// out-neighbours, the form SendToNeighbors itself uses.
+func (c *VertexContext) NeighborCursor() graph.Cursor { return c.engine.g.NeighborCursor(c.id) }
+
 // InNeighbors returns the vertex's in-neighbours (same as Neighbors on
-// undirected graphs). Zero-copy, same contract as Neighbors.
+// undirected graphs). Same ownership contract as Neighbors.
 func (c *VertexContext) InNeighbors() []graph.VertexID { return c.engine.g.InNeighbors(c.id) }
 
 // SendTo sends a message to the given vertex, for delivery next superstep.
@@ -94,8 +99,14 @@ func (c *VertexContext) SendTo(dst graph.VertexID, msg any) {
 
 // SendToNeighbors sends the message to every out-neighbour.
 func (c *VertexContext) SendToNeighbors(msg any) {
-	for _, w := range c.engine.g.Neighbors(c.id) {
-		c.worker.send(c.engine, w, msg)
+	for cur := c.engine.g.NeighborCursor(c.id); ; {
+		chunk := cur.NextChunk()
+		if chunk == nil {
+			return
+		}
+		for _, w := range chunk {
+			c.worker.send(c.engine, w, msg)
+		}
 	}
 }
 

@@ -526,17 +526,55 @@ func bestPartitionsInto(g *graph.Graph, asn *partition.Assignment, v graph.Verte
 		counts[i] = 0
 	}
 	counts[cur]++ // Γ(v) includes v itself
-	for _, w := range g.Neighbors(v) {
-		if pw := asn.Of(w); pw != partition.None {
-			counts[pw]++
+	// This is the hottest read in the system. Vertices untouched since
+	// the last arena compaction — the overwhelming majority on a
+	// converged graph — iterate their zero-copy arena span directly
+	// (CleanNeighbors inlines to an array load); dirty vertices fall back
+	// to the chunked cursor, which merges the pending overlay without
+	// allocating.
+	if nbrs, ok := g.CleanNeighbors(v); ok {
+		for _, w := range nbrs {
+			if pw := asn.Of(w); pw != partition.None {
+				counts[pw]++
+			}
+		}
+	} else {
+		var c graph.Cursor
+		c.Reset(g, v)
+		for {
+			chunk := c.NextChunk()
+			if chunk == nil {
+				break
+			}
+			for _, w := range chunk {
+				if pw := asn.Of(w); pw != partition.None {
+					counts[pw]++
+				}
+			}
 		}
 	}
 	if g.Directed() {
 		// Both directions matter on digraphs: a cut edge costs
 		// communication whichever way messages flow.
-		for _, w := range g.InNeighbors(v) {
-			if pw := asn.Of(w); pw != partition.None {
-				counts[pw]++
+		if nbrs, ok := g.CleanInNeighbors(v); ok {
+			for _, w := range nbrs {
+				if pw := asn.Of(w); pw != partition.None {
+					counts[pw]++
+				}
+			}
+		} else {
+			var c graph.Cursor
+			c.ResetIn(g, v)
+			for {
+				chunk := c.NextChunk()
+				if chunk == nil {
+					break
+				}
+				for _, w := range chunk {
+					if pw := asn.Of(w); pw != partition.None {
+						counts[pw]++
+					}
+				}
 			}
 		}
 	}

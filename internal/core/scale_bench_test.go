@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// BenchmarkChurnScenario is the million-scale storage scenario: a
+// power-law graph at n vertices (default 1M; the nightly workflow runs
+// 10M via XDGP_CHURN_SCALE) is partitioned, settled by the incremental
+// scheduler, then driven with stationary 0.1 % vertex churn — the
+// ROADMAP's production regime in miniature. It reports the two numbers
+// the CSR-arena layout is accountable for:
+//
+//   - bytes/edge — measured resident adjacency bytes of the arena layout,
+//     with oldbytes/edge measured the same way for the naive
+//     slice-of-slices layout it replaced (the ≥40 % improvement
+//     acceptance bar compares the two);
+//   - ns/examined — wall time per examined vertex across the churn-absorb
+//     iterations, the storage-sensitive inner loop.
+//
+// The scenario is deliberately not in ci/bench.sh (PR gates run the 10k
+// and 100k churn benches); the nightly workflow runs it at both scales.
+func BenchmarkChurnScenario(b *testing.B) {
+	n := 1_000_000
+	if v := os.Getenv("XDGP_CHURN_SCALE"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1000 {
+			b.Fatalf("XDGP_CHURN_SCALE %q invalid", v)
+		}
+		n = parsed
+	}
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		// Average degree 6 (m=3), the regime of the paper's sparse
+		// real-world graphs.
+		g := gen.BarabasiAlbert(n, 3, 1)
+
+		newBytes := measureArenaBytes(b, g)
+		oldBytes := measureSliceOfSlicesBytes(b, g)
+
+		cfg := DefaultConfig(16, 1)
+		cfg.RecordEvery = 0
+		cfg.Incremental = true
+		p, err := New(g, partition.Hash(g, 16), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Settle the bulk of the initial frontier; full convergence at
+		// this scale is a multi-minute affair and the churn measurement
+		// only needs a quiescent-enough baseline.
+		for s := 0; s < 40 && p.DirtyCount() > n/100; s++ {
+			p.Step()
+		}
+
+		rng := rand.New(rand.NewSource(1))
+		stepsPerBurst := cfg.ConvergenceWindow
+		examined := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p.ApplyBatch(churnBatch(g, n/1000, rng))
+			b.StartTimer()
+			for s := 0; s < stepsPerBurst; s++ {
+				st := p.Step()
+				examined += st.Examined
+				if p.Converged() {
+					break
+				}
+			}
+		}
+		b.StopTimer()
+		// ResetTimer wipes user metrics, so everything reports here.
+		m := float64(g.NumEdges())
+		b.ReportMetric(newBytes/m, "bytes/edge")
+		b.ReportMetric(oldBytes/m, "oldbytes/edge")
+		b.ReportMetric(100*(1-newBytes/oldBytes), "mem-improve-%")
+		if examined > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(examined), "ns/examined")
+			b.ReportMetric(float64(examined)/float64(b.N), "examined/burst")
+		}
+	})
+}
+
+// measureArenaBytes rebuilds g's edge set into a fresh compacted
+// CSR-arena graph between two GC-settled heap readings, returning the
+// resident bytes of the complete graph structure.
+func measureArenaBytes(b *testing.B, g *graph.Graph) float64 {
+	b.Helper()
+	before := settledHeap()
+	fresh := graph.NewUndirected(g.NumSlots())
+	for i := 0; i < g.NumSlots(); i++ {
+		fresh.AddVertex()
+	}
+	g.ForEachEdge(func(u, v graph.VertexID) { fresh.AddEdge(u, v) })
+	fresh.Compact()
+	after := settledHeap()
+	if fresh.NumEdges() != g.NumEdges() {
+		b.Fatalf("arena rebuild lost edges: %d vs %d", fresh.NumEdges(), g.NumEdges())
+	}
+	bytes := float64(after - before)
+	runtime.KeepAlive(fresh)
+	return bytes
+}
+
+// sosGraph is the storage layout this PR replaced — adjacency as one heap
+// allocation per vertex — rebuilt here as the memory comparison baseline.
+type sosGraph struct {
+	out   [][]graph.VertexID
+	alive []bool
+}
+
+// measureSliceOfSlicesBytes builds the same edge set in the former
+// [][]VertexID layout (append-grown per-vertex lists, alive table)
+// between GC-settled heap readings.
+func measureSliceOfSlicesBytes(b *testing.B, g *graph.Graph) float64 {
+	b.Helper()
+	before := settledHeap()
+	old := &sosGraph{
+		out:   make([][]graph.VertexID, g.NumSlots()),
+		alive: make([]bool, g.NumSlots()),
+	}
+	ends := 0
+	g.ForEachEdge(func(u, v graph.VertexID) {
+		old.out[u] = append(old.out[u], v)
+		old.out[v] = append(old.out[v], u)
+		old.alive[u], old.alive[v] = true, true
+		ends += 2
+	})
+	after := settledHeap()
+	if ends != 2*g.NumEdges() {
+		b.Fatalf("slice-of-slices rebuild lost edges: %d ends vs %d", ends, 2*g.NumEdges())
+	}
+	bytes := float64(after - before)
+	runtime.KeepAlive(old)
+	return bytes
+}
+
+func settledHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"xdgp/internal/graph"
+)
+
+// This file implements streaming edge-list generation: edges go straight
+// to the output writer as they are produced, without materialising a
+// graph.Graph. That turns cmd/gengraph's memory footprint for an n-vertex
+// mesh from O(n + m) into O(1) — the regime the 10M-vertex nightly
+// scenario generates in — and into O(m) vertex-endpoint words (no
+// adjacency, no dedup tables) for preferential attachment.
+
+// StreamMesh3D writes the nx × ny × nz cubic lattice of Mesh3D as an edge
+// list, byte-identical to Mesh3D(...) followed by WriteEdgeList: the same
+// header comment, the same u<v edge order. Memory use is O(1): vertex IDs
+// and edges are pure index arithmetic.
+func StreamMesh3D(w io.Writer, nx, ny, nz int) error {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return fmt.Errorf("gen: mesh dimensions must be ≥ 1, got %dx%dx%d", nx, ny, nz)
+	}
+	n := nx * ny * nz
+	m := (nx-1)*ny*nz + nx*(ny-1)*nz + nx*ny*(nz-1)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d directed false\n", n, m); err != nil {
+		return err
+	}
+	// Vertex (x,y,z) has ID x + nx·(y + ny·z); iterating IDs ascending and
+	// emitting the +x, +y, +z neighbours in that order reproduces
+	// WriteEdgeList's (u < v, ascending) visit order exactly.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				id := x + nx*(y+ny*z)
+				if x+1 < nx {
+					fmt.Fprintf(bw, "%d %d\n", id, id+1)
+				}
+				if y+1 < ny {
+					fmt.Fprintf(bw, "%d %d\n", id, id+nx)
+				}
+				if z+1 < nz {
+					fmt.Fprintf(bw, "%d %d\n", id, id+nx*ny)
+				}
+			}
+		}
+	}
+	if m == 0 {
+		// Degenerate lattices (all dimensions 1) have isolated vertices;
+		// WriteEdgeList emits them as single-field lines so a round trip
+		// preserves them.
+		for id := 0; id < n; id++ {
+			fmt.Fprintf(bw, "%d\n", id)
+		}
+	}
+	return bw.Flush()
+}
+
+// StreamBarabasiAlbert writes an undirected preferential-attachment graph
+// with n vertices and m attachments per new vertex as an edge list, in
+// generation order. The edge set is identical to BarabasiAlbert(n, m,
+// seed) — the same RNG stream drives the same attachment choices — but no
+// adjacency structure is built: the only state is the degree-proportional
+// endpoint pool (two vertex IDs per edge) plus a per-round duplicate set
+// bounded by m. Edge count is reported in a trailing comment, since it is
+// only known once generation finishes.
+func StreamBarabasiAlbert(w io.Writer, n, m int, seed int64) error {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# barabasi-albert n %d m %d seed %d\n", n, m, seed); err != nil {
+		return err
+	}
+	repeated := make([]graph.VertexID, 0, 2*m*n)
+	edges := 0
+	emit := func(u, v graph.VertexID) {
+		fmt.Fprintf(bw, "%d %d\n", u, v)
+		repeated = append(repeated, u, v)
+		edges++
+	}
+	// Seed clique of m+1 vertices, matching BarabasiAlbert.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			emit(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	round := make(map[graph.VertexID]bool, m)
+	for next := m + 1; next < n; next++ {
+		v := graph.VertexID(next)
+		for k := range round {
+			delete(round, k)
+		}
+		added := 0
+		for tries := 0; added < m && tries < 50*m; tries++ {
+			t := repeated[rng.Intn(len(repeated))]
+			// BarabasiAlbert relies on AddEdge rejecting self-loops and
+			// duplicates; v's only possible duplicates are this round's
+			// picks (v had no earlier edges), so a bounded set suffices.
+			if t == v || round[t] {
+				continue
+			}
+			round[t] = true
+			emit(v, t)
+			added++
+		}
+	}
+	fmt.Fprintf(bw, "# streamed vertices %d edges %d\n", n, edges)
+	return bw.Flush()
+}

@@ -36,6 +36,40 @@ func BenchmarkHasEdge(b *testing.B) {
 	}
 }
 
+// BenchmarkHasEdgeHub measures membership tests against a power-law hub:
+// a star with 100k leaves, the worst case for the former O(degree)
+// linear scan. The sorted CSR base span answers these with a binary
+// search (the overlay stays linear but is bounded by the compaction
+// threshold), so this must stay logarithmic in the hub degree.
+func BenchmarkHasEdgeHub(b *testing.B) {
+	const leaves = 100000
+	g := NewUndirected(leaves + 1)
+	hub := g.AddVertex()
+	for i := 0; i < leaves; i++ {
+		g.AddEdge(hub, g.AddVertex())
+	}
+	g.Compact()
+	for _, bc := range []struct {
+		name string
+		dirt bool
+	}{{"clean", false}, {"overlaid", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			h := g
+			if bc.dirt {
+				h = g.Clone()
+				// Touch the hub so the probe also walks its overlay.
+				extra := h.AddVertex()
+				h.AddEdge(hub, extra)
+				h.RemoveEdge(hub, 17)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.HasEdge(hub, VertexID(1+i%leaves))
+			}
+		})
+	}
+}
+
 func BenchmarkNeighborsScan(b *testing.B) {
 	g := benchGraph(10000)
 	b.ResetTimer()

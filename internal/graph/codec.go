@@ -10,32 +10,55 @@ import (
 // This file implements the stable binary serialization of a Graph used by
 // the snapshot/restore path (internal/snapshot). The format captures the
 // *identity-level* state, not just the topology: slot layout, the alive
-// bitmap and the free-list order all round-trip, because vertex IDs are
-// recycled LIFO and a restored daemon must hand out exactly the IDs the
-// uninterrupted run would have (determinism acceptance criterion).
+// bitmap, the free-list order, the arena spans AND the pending mutation
+// overlay all round-trip exactly. Vertex IDs are recycled LIFO, neighbour
+// iteration order feeds the deterministic schedulers, and compaction
+// points are a function of overlay mass — so a restored daemon must
+// reproduce all three byte-for-byte, including a checkpoint taken with a
+// non-empty overlay (determinism acceptance criterion).
 //
 // Layout (all integers little-endian, fixed width):
 //
 //	u8  directed
 //	u32 slots
-//	u64 n (live vertices), u64 m (live edges)   — validated on decode
+//	u64 n (live vertices), u64 m (live edges)     — validated on decode
 //	slots × u8   alive bitmap (one byte per slot)
-//	u32 freeLen, freeLen × i32                  — free list, stack order
-//	slots × (u32 deg, deg × i32)                — out-adjacency, slot order
-//	[directed only] slots × (u32 deg, deg × i32) — in-adjacency
+//	u32 freeLen, freeLen × i32                    — free list, stack order
+//	store (out-adjacency):
+//	  u64 arenaLen, arenaLen × i32                — arena, verbatim
+//	  slots × (u32 off, u32 len)                  — base spans
+//	  u64 garbage                                 — == arenaLen − Σ len
+//	  u32 dirtyCount                              — overlays, slot-ascending
+//	  dirtyCount × (u32 slot, u32 nAdds, nAdds × i32)
+//	[directed only] store (in-adjacency)
 //
 // The format is versioned by the enclosing snapshot container, which also
-// carries a CRC; the decoder still bounds every length so a corrupt or
-// adversarial payload errors instead of allocating unbounded memory.
+// carries a CRC; the decoder still bounds every length and finishes with
+// a full CheckInvariants pass, so a corrupt or adversarial payload errors
+// instead of panicking or allocating unbounded memory.
 
 // maxCodecSlots bounds the vertex-table size EncodeBinary/DecodeGraph
 // accept, mirroring MaxReadVertexID for the text parsers.
 const maxCodecSlots = MaxReadVertexID + 1
 
+// maxCodecArena bounds a single direction's arena length. Decoding reads
+// the arena incrementally, so a lying header fails at EOF long before the
+// claimed allocation is reached.
+const maxCodecArena = 1 << 31
+
 // EncodeBinary writes the graph in the stable binary snapshot format.
+// Encoding does not canonicalise: the arena (including garbage), spans
+// and overlay serialize verbatim, so encode∘decode∘encode is
+// byte-identical and a restored graph compacts at exactly the same future
+// points as the original.
 func (g *Graph) EncodeBinary(w io.Writer) error {
-	if len(g.out) > maxCodecSlots {
-		return fmt.Errorf("graph: %d slots exceed the serializable maximum %d", len(g.out), maxCodecSlots)
+	if len(g.out.spans) > maxCodecSlots {
+		return fmt.Errorf("graph: %d slots exceed the serializable maximum %d", len(g.out.spans), maxCodecSlots)
+	}
+	// Mirror every decode-side bound at encode time: a checkpoint that
+	// writes cleanly must restore cleanly, never fail only on read.
+	if len(g.out.arena) > maxCodecArena || len(g.in.arena) > maxCodecArena {
+		return fmt.Errorf("graph: arena exceeds the serializable maximum %d entries", maxCodecArena)
 	}
 	bw := bufio.NewWriter(w)
 	dir := byte(0)
@@ -45,7 +68,7 @@ func (g *Graph) EncodeBinary(w io.Writer) error {
 	if err := bw.WriteByte(dir); err != nil {
 		return err
 	}
-	writeU32(bw, uint32(len(g.out)))
+	writeU32(bw, uint32(len(g.out.spans)))
 	writeU64(bw, uint64(g.n))
 	writeU64(bw, uint64(g.m))
 	for _, a := range g.alive {
@@ -59,26 +82,44 @@ func (g *Graph) EncodeBinary(w io.Writer) error {
 	for _, id := range g.free {
 		writeI32(bw, int32(id))
 	}
-	writeAdjacency(bw, g.out)
+	g.out.encode(bw)
 	if g.directed {
-		writeAdjacency(bw, g.in)
+		g.in.encode(bw)
 	}
 	return bw.Flush()
 }
 
-func writeAdjacency(bw *bufio.Writer, adj [][]VertexID) {
-	for _, list := range adj {
-		writeU32(bw, uint32(len(list)))
-		for _, v := range list {
-			writeI32(bw, int32(v))
+func (s *store) encode(bw *bufio.Writer) {
+	writeU64(bw, uint64(len(s.arena)))
+	for _, v := range s.arena {
+		writeI32(bw, int32(v))
+	}
+	for _, sp := range s.spans {
+		writeU32(bw, sp.off)
+		writeU32(bw, uint32(sp.n))
+	}
+	writeU64(bw, uint64(s.garbage))
+	writeU32(bw, uint32(len(s.ovTab)))
+	// Slot-ascending overlay order keeps the encoding canonical (the
+	// dense table's internal order must never leak into the bytes).
+	for i := range s.spans {
+		v := VertexID(i)
+		o := s.overlayOf(v)
+		if o == nil {
+			continue
+		}
+		writeU32(bw, uint32(i))
+		writeU32(bw, uint32(len(o.adds)))
+		for _, w := range o.adds {
+			writeI32(bw, int32(w))
 		}
 	}
 }
 
-// DecodeGraph reads a graph previously written by EncodeBinary. Structural
-// counters (n, m, free-list/alive consistency) are validated; a mismatch
-// or out-of-range ID yields an error, never a panic or unbounded
-// allocation.
+// DecodeGraph reads a graph previously written by EncodeBinary. The full
+// invariant suite (degree symmetry, counts, span/overlay bookkeeping)
+// is validated; a mismatch or out-of-range ID yields an error, never a
+// panic or unbounded allocation.
 func DecodeGraph(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	dir, err := br.ReadByte()
@@ -106,14 +147,7 @@ func DecodeGraph(r io.Reader) (*Graph, error) {
 	if n > uint64(slots) {
 		return nil, fmt.Errorf("graph decode: %d live vertices in %d slots", n, slots)
 	}
-	g := &Graph{
-		directed: dir == 1,
-		out:      make([][]VertexID, slots),
-		alive:    make([]bool, slots),
-	}
-	if g.directed {
-		g.in = make([][]VertexID, slots)
-	}
+	g := &Graph{directed: dir == 1, alive: make([]bool, slots)}
 	live := 0
 	for i := range g.alive {
 		b, err := br.ReadByte()
@@ -150,55 +184,115 @@ func DecodeGraph(r io.Reader) (*Graph, error) {
 		}
 		g.free[i] = id
 	}
-	ends, err := readAdjacency(br, g.out, slots)
-	if err != nil {
-		return nil, fmt.Errorf("graph decode: out-adjacency: %w", err)
-	}
-	wantEnds := 2 * m
-	if g.directed {
-		wantEnds = m
-	}
-	if ends != wantEnds {
-		return nil, fmt.Errorf("graph decode: %d out-edge ends, header implies %d", ends, wantEnds)
+	if err := g.out.decode(br, slots); err != nil {
+		return nil, fmt.Errorf("graph decode: out store: %w", err)
 	}
 	if g.directed {
-		inEnds, err := readAdjacency(br, g.in, slots)
-		if err != nil {
-			return nil, fmt.Errorf("graph decode: in-adjacency: %w", err)
-		}
-		if inEnds != m {
-			return nil, fmt.Errorf("graph decode: %d in-edge ends, header says %d edges", inEnds, m)
+		if err := g.in.decode(br, slots); err != nil {
+			return nil, fmt.Errorf("graph decode: in store: %w", err)
 		}
 	}
 	g.n = int(n)
 	g.m = int(m)
+	if err := g.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("graph decode: inconsistent payload: %w", err)
+	}
 	return g, nil
 }
 
-func readAdjacency(br *bufio.Reader, adj [][]VertexID, slots uint32) (ends uint64, err error) {
-	for i := range adj {
-		deg, err := readU32(br)
-		if err != nil {
-			return 0, fmt.Errorf("slot %d degree: %w", i, err)
-		}
-		if deg > slots {
-			return 0, fmt.Errorf("slot %d degree %d exceeds slot count %d", i, deg, slots)
-		}
-		if deg == 0 {
-			continue
-		}
-		list := make([]VertexID, deg)
-		for j := range list {
-			id, err := readSlotID(br, slots)
-			if err != nil {
-				return 0, fmt.Errorf("slot %d neighbour %d: %w", i, j, err)
-			}
-			list[j] = id
-		}
-		adj[i] = list
-		ends += uint64(deg)
+func (s *store) decode(br *bufio.Reader, slots uint32) error {
+	arenaLen, err := readU64(br)
+	if err != nil {
+		return fmt.Errorf("arena length: %w", err)
 	}
-	return ends, nil
+	if arenaLen > maxCodecArena {
+		return fmt.Errorf("arena length %d exceeds the supported maximum %d", arenaLen, maxCodecArena)
+	}
+	// Grow incrementally: a lying length hits EOF, not a huge allocation.
+	s.arena = make([]VertexID, 0, min64(arenaLen, 1<<16))
+	for i := uint64(0); i < arenaLen; i++ {
+		id, err := readSlotID(br, slots)
+		if err != nil {
+			return fmt.Errorf("arena entry %d: %w", i, err)
+		}
+		s.arena = append(s.arena, id)
+	}
+	s.spans = make([]span, slots)
+	for i := range s.spans {
+		off, err := readU32(br)
+		if err != nil {
+			return fmt.Errorf("slot %d span offset: %w", i, err)
+		}
+		length, err := readU32(br)
+		if err != nil {
+			return fmt.Errorf("slot %d span length: %w", i, err)
+		}
+		if uint64(off)+uint64(length) > arenaLen || length > uint32(maxCodecSlots) {
+			return fmt.Errorf("slot %d span [%d,+%d) exceeds arena %d", i, off, length, arenaLen)
+		}
+		s.spans[i] = span{off: off, n: int32(length)}
+	}
+	garbage, err := readU64(br)
+	if err != nil {
+		return fmt.Errorf("garbage counter: %w", err)
+	}
+	spanEnds := uint64(0)
+	for _, sp := range s.spans {
+		spanEnds += uint64(sp.n)
+	}
+	if spanEnds+garbage != arenaLen {
+		return fmt.Errorf("span ends %d + garbage %d != arena %d", spanEnds, garbage, arenaLen)
+	}
+	s.garbage = int(garbage)
+	dirtyCount, err := readU32(br)
+	if err != nil {
+		return fmt.Errorf("overlay count: %w", err)
+	}
+	if dirtyCount > slots {
+		return fmt.Errorf("overlay count %d exceeds slot count %d", dirtyCount, slots)
+	}
+	prev := int64(-1)
+	for i := uint32(0); i < dirtyCount; i++ {
+		slot, err := readU32(br)
+		if err != nil {
+			return fmt.Errorf("overlay %d slot: %w", i, err)
+		}
+		if int64(slot) <= prev || slot >= slots {
+			return fmt.Errorf("overlay slots not ascending (%d after %d)", slot, prev)
+		}
+		prev = int64(slot)
+		o := s.ensureOverlay(VertexID(slot))
+		if o.adds, err = readVertexList(br, slots, "adds"); err != nil {
+			return fmt.Errorf("overlay %d: %w", slot, err)
+		}
+		if len(o.adds) == 0 {
+			return fmt.Errorf("overlay %d is empty", slot)
+		}
+		s.ovEnts += len(o.adds)
+	}
+	return nil
+}
+
+func readVertexList(br *bufio.Reader, slots uint32, what string) ([]VertexID, error) {
+	n, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("%s length: %w", what, err)
+	}
+	if n > slots {
+		return nil, fmt.Errorf("%s length %d exceeds slot count %d", what, n, slots)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	list := make([]VertexID, n)
+	for i := range list {
+		id, err := readSlotID(br, slots)
+		if err != nil {
+			return nil, fmt.Errorf("%s entry %d: %w", what, i, err)
+		}
+		list[i] = id
+	}
+	return list, nil
 }
 
 func readSlotID(br *bufio.Reader, slots uint32) (VertexID, error) {
@@ -210,6 +304,13 @@ func readSlotID(br *bufio.Reader, slots uint32) (VertexID, error) {
 		return NoVertex, fmt.Errorf("vertex id %d out of range [0,%d)", raw, slots)
 	}
 	return VertexID(raw), nil
+}
+
+func min64(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
 }
 
 func writeU32(w *bufio.Writer, v uint32) {

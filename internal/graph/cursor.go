@@ -1,0 +1,190 @@
+package graph
+
+// Cursor iterates one vertex's adjacency without allocating. A vertex's
+// live adjacency is at most two contiguous runs — its base span in the
+// arena (sorted, spliced in place on removal) and its overlay adds (in
+// insertion order) — so iteration needs no merge logic. Obtain a cursor
+// with NeighborCursor/InNeighborCursor, or reuse one across a sweep with
+// Reset/ResetIn:
+//
+//	for c := g.NeighborCursor(v); ; {
+//		w, ok := c.Next()
+//		if !ok {
+//			break
+//		}
+//		...
+//	}
+//
+// A cursor is a point-in-time view: it must not be used across mutations
+// of the graph. Concurrent cursors over an unmutated graph are safe — the
+// sharded sweep and the BSP workers iterate this way.
+type Cursor struct {
+	base []VertexID
+	adds []VertexID
+	bi   int
+	ai   int
+}
+
+// NeighborCursor returns a cursor over v's out-neighbours (all neighbours
+// for undirected graphs). Dead vertices yield an empty cursor.
+func (g *Graph) NeighborCursor(v VertexID) Cursor {
+	var c Cursor
+	c.Reset(g, v)
+	return c
+}
+
+// InNeighborCursor returns a cursor over v's in-neighbours (identical to
+// NeighborCursor for undirected graphs).
+func (g *Graph) InNeighborCursor(v VertexID) Cursor {
+	var c Cursor
+	c.ResetIn(g, v)
+	return c
+}
+
+// Reset repoints the cursor at v's out-adjacency (all neighbours for
+// undirected graphs). Re-using one cursor variable across a sweep avoids
+// copying the cursor struct per vertex — the form the per-iteration
+// migration sweep uses.
+func (c *Cursor) Reset(g *Graph, v VertexID) { c.reset(&g.out, v) }
+
+// ResetIn repoints the cursor at v's in-adjacency (identical to Reset for
+// undirected graphs).
+func (c *Cursor) ResetIn(g *Graph, v VertexID) {
+	if g.directed {
+		c.reset(&g.in, v)
+	} else {
+		c.reset(&g.out, v)
+	}
+}
+
+func (c *Cursor) reset(s *store, v VertexID) {
+	c.bi, c.ai = 0, 0
+	if v < 0 || int(v) >= len(s.spans) {
+		c.base, c.adds = nil, nil
+		return
+	}
+	sp := s.spans[v]
+	c.base = s.arena[sp.off : sp.off+uint32(sp.n)]
+	c.adds = nil
+	if s.ovIdx != nil {
+		if i := s.ovIdx[v]; i >= 0 {
+			c.adds = s.ovTab[i].adds
+		}
+	}
+}
+
+func (s *store) cursor(v VertexID) Cursor {
+	var c Cursor
+	c.reset(s, v)
+	return c
+}
+
+// Next returns the next live neighbour. The second result is false when
+// the adjacency is exhausted.
+func (c *Cursor) Next() (VertexID, bool) {
+	if c.bi < len(c.base) {
+		w := c.base[c.bi]
+		c.bi++
+		return w, true
+	}
+	if c.ai < len(c.adds) {
+		w := c.adds[c.ai]
+		c.ai++
+		return w, true
+	}
+	return NoVertex, false
+}
+
+// NextChunk returns the next contiguous run of live neighbours, or nil
+// when the adjacency is exhausted: the base arena span first, then the
+// overlay adds. Callers iterate each chunk at raw slice-range speed — at
+// most two calls plus a terminating one per vertex:
+//
+//	for c := g.NeighborCursor(v); ; {
+//		chunk := c.NextChunk()
+//		if chunk == nil {
+//			break
+//		}
+//		for _, w := range chunk {
+//			...
+//		}
+//	}
+//
+// Chunks are views into graph-owned memory: never mutate them. NextChunk
+// and Next draw from the same position and may be interleaved.
+func (c *Cursor) NextChunk() []VertexID {
+	if c.bi < len(c.base) {
+		chunk := c.base[c.bi:]
+		c.bi = len(c.base)
+		return chunk
+	}
+	if c.ai < len(c.adds) {
+		chunk := c.adds[c.ai:]
+		c.ai = len(c.adds)
+		return chunk
+	}
+	return nil
+}
+
+// CleanNeighbors returns v's adjacency as a single zero-copy arena span
+// when the vertex has no pending overlay — the common case on a compacted
+// graph — with ok=true. ok=false means v is dirty and the caller must
+// fall back to a cursor. Unlike Neighbors it never allocates, and it is
+// small enough to inline, so sweep loops test it first and pay one array
+// load per clean vertex.
+func (g *Graph) CleanNeighbors(v VertexID) (nbrs []VertexID, ok bool) {
+	s := &g.out
+	if v < 0 || int(v) >= len(s.spans) {
+		return nil, true
+	}
+	if s.ovIdx != nil && s.ovIdx[v] >= 0 {
+		return nil, false
+	}
+	sp := s.spans[v]
+	return s.arena[sp.off : sp.off+uint32(sp.n)], true
+}
+
+// CleanInNeighbors is CleanNeighbors for the in-adjacency (identical to
+// CleanNeighbors on undirected graphs).
+func (g *Graph) CleanInNeighbors(v VertexID) (nbrs []VertexID, ok bool) {
+	s := &g.out
+	if g.directed {
+		s = &g.in
+	}
+	if v < 0 || int(v) >= len(s.spans) {
+		return nil, true
+	}
+	if s.ovIdx != nil && s.ovIdx[v] >= 0 {
+		return nil, false
+	}
+	sp := s.spans[v]
+	return s.arena[sp.off : sp.off+uint32(sp.n)], true
+}
+
+// ForEachNeighbor calls fn for every out-neighbour of v (every neighbour
+// when undirected), allocation-free.
+func (g *Graph) ForEachNeighbor(v VertexID, fn func(VertexID)) {
+	for c := g.NeighborCursor(v); ; {
+		chunk := c.NextChunk()
+		if chunk == nil {
+			return
+		}
+		for _, w := range chunk {
+			fn(w)
+		}
+	}
+}
+
+// ForEachInNeighbor calls fn for every in-neighbour of v (identical to
+// ForEachNeighbor for undirected graphs), allocation-free.
+func (g *Graph) ForEachInNeighbor(v VertexID, fn func(VertexID)) {
+	for c := g.InNeighborCursor(v); ; {
+		chunk := c.NextChunk()
+		if chunk == nil {
+			return
+		}
+		for _, w := range chunk {
+			fn(w)
+		}
+	}
+}

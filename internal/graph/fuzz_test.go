@@ -1,17 +1,20 @@
 package graph
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
 
-// The fuzz targets assert the parser robustness contract: arbitrary input
-// — malformed lines, huge or negative IDs, truncated files, binary noise —
-// must produce either a structurally sound graph or an error, never a
-// panic and never an unbounded allocation. Run continuously with
+// The fuzz targets assert the parser and codec robustness contract:
+// arbitrary input — malformed lines, huge or negative IDs, truncated
+// files, binary noise — must produce either a structurally sound graph or
+// an error, never a panic and never an unbounded allocation. Run
+// continuously with
 //
 //	go test -fuzz=FuzzReadEdgeList ./internal/graph
 //	go test -fuzz=FuzzReadMetis ./internal/graph
+//	go test -fuzz=FuzzDecodeGraph ./internal/graph
 //
 // and in CI the seed corpus below executes as ordinary tests.
 
@@ -83,6 +86,67 @@ func FuzzReadMetis(f *testing.F) {
 		}
 		if err := g.CheckInvariants(); err != nil {
 			t.Fatalf("accepted input produced inconsistent graph: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+// FuzzDecodeGraph feeds arbitrary bytes through the binary arena codec:
+// any input must either decode to a graph that passes CheckInvariants and
+// re-encodes byte-identically (the determinism contract checkpoints rely
+// on), or fail with a clean error — never panic, never allocate
+// unboundedly. The corpus seeds the interesting regions of the format:
+// a compacted snapshot (overlay-free), an overlay-heavy snapshot taken
+// mid-churn, a directed graph, and an empty graph.
+func FuzzDecodeGraph(f *testing.F) {
+	seed := func(g *Graph) []byte {
+		var buf bytes.Buffer
+		if err := g.EncodeBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	// Compacted: everything in the arena.
+	compacted := buildChurnedGraph(false)
+	compacted.Compact()
+	f.Add(seed(compacted))
+	// Overlay-heavy: compact, then churn without recompacting.
+	dirty := buildChurnedGraph(false)
+	dirty.Compact()
+	dirty.RemoveEdge(2, 3)
+	dirty.RemoveVertex(9)
+	v := dirty.AddVertex()
+	dirty.AddEdge(v, 0)
+	dirty.AddEdge(v, 5)
+	f.Add(seed(dirty))
+	f.Add(seed(buildChurnedGraph(true)))
+	f.Add(seed(NewUndirected(0)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil graph with nil error")
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("accepted payload produced inconsistent graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := g.EncodeBinary(&out); err != nil {
+			t.Fatalf("decoded graph failed to re-encode: %v", err)
+		}
+		// Re-decode the re-encode: the codec must be a fixed point after
+		// one round trip.
+		g2, err := DecodeGraph(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := g2.EncodeBinary(&out2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("codec is not a fixed point: %d vs %d bytes", out.Len(), out2.Len())
 		}
 	})
 }

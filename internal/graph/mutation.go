@@ -99,13 +99,9 @@ func (g *Graph) ApplyTouched(b Batch, touched func(VertexID)) int {
 				if touched != nil {
 					// Neighbours lose a member of their Γ; report them
 					// before the adjacency is destroyed.
-					for _, w := range g.out[mu.U] {
-						touched(w)
-					}
+					g.ForEachNeighbor(mu.U, touched)
 					if g.directed {
-						for _, w := range g.in[mu.U] {
-							touched(w)
-						}
+						g.ForEachInNeighbor(mu.U, touched)
 					}
 					touched(mu.U)
 				}

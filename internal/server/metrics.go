@@ -40,6 +40,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	g := s.part.Graph()
 	vertices, edges := g.NumVertices(), g.NumEdges()
+	mem := g.MemoryStats()
+	overlayMass := g.OverlayMass()
 	dirty := s.part.DirtyCount()
 	iteration := s.part.Iteration()
 	converged := s.part.Converged()
@@ -50,6 +52,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("apartd_edges", "Live edges.", float64(edges))
 	gauge("apartd_dirty_vertices", "Active-set frontier size (0 when full-sweep or idle).", float64(dirty))
 	gauge("apartd_iteration", "Heuristic iteration counter.", float64(iteration))
+	gauge("apartd_graph_bytes", "Estimated resident bytes of the adjacency storage (arena + spans + overlay).", float64(mem.Bytes))
+	gauge("apartd_graph_overlay_entries", "Adjacency entries pending compaction (overlay adds + arena garbage).", float64(overlayMass))
+	counter("apartd_graph_compactions_total", "Adjacency arena rebuilds (automatic and between-tick).", mem.Compactions)
 	boolV := 0.0
 	if converged {
 		boolV = 1

@@ -237,6 +237,7 @@ type TickResult struct {
 	Migrations int  // moves granted across those iterations
 	Examined   int  // vertex decisions evaluated across those iterations
 	Converged  bool // partitioner quiescent after the tick
+	Compacted  bool // adjacency arena folded between ticks
 	Checkpoint bool // periodic checkpoint written after the tick
 }
 
@@ -281,6 +282,20 @@ func (s *Server) TickNow() TickResult {
 		res.Examined += st.Examined
 	}
 	res.Converged = converged
+
+	// Between-tick housekeeping: fold the adjacency overlay back into the
+	// CSR arena once it outgrows the policy threshold, off the ingest and
+	// query paths. Mutations also self-compact at the same deterministic
+	// threshold, so this call only moves work to a quiet point; it never
+	// changes what the heuristic computes (neighbourhood counts are
+	// order-independent), and checkpoints taken mid-overlay serialize the
+	// overlay exactly either way.
+	s.mu.Lock()
+	if s.part.Graph().MaybeCompact() {
+		res.Compacted = true
+	}
+	s.mu.Unlock()
+
 	tick := s.ticks.Add(1)
 
 	if s.cfg.CheckpointEvery > 0 && tick%uint64(s.cfg.CheckpointEvery) == 0 {

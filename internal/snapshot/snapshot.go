@@ -8,7 +8,7 @@
 // Format (little-endian throughout):
 //
 //	[8]byte  magic "XDGPSNAP"
-//	u32      version (currently 1)
+//	u32      version (currently 2)
 //	params   fixed-width algorithm parameters (see Params)
 //	meta     daemon counters (see Meta)
 //	u64 len + graph payload      (graph.EncodeBinary)
@@ -39,10 +39,13 @@ import (
 )
 
 // Magic identifies a snapshot file; Version is the current format
-// revision. Readers reject other magics and future versions.
+// revision. Readers reject other magics and any non-current version:
+// v1 checkpoints (pre-CSR-arena graph payload) are NOT restorable —
+// drain v1 daemons and replay their streams when upgrading across the
+// storage change.
 const (
 	Magic   = "XDGPSNAP"
-	Version = 1
+	Version = 2 // v2: graph payload switched to the CSR-arena + overlay codec
 )
 
 // maxSectionBytes bounds any length-prefixed section a reader will
