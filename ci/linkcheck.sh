@@ -7,6 +7,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
+
+# The documentation set has required members: the API reference and the
+# operations runbook must exist (and therefore get link-checked below) —
+# a rename or deletion should fail this gate, not silently shrink the
+# docs.
+for required in README.md docs/ARCHITECTURE.md docs/API.md docs/OPERATIONS.md \
+  examples/quickstart/README.md; do
+  if [ ! -f "$required" ]; then
+    echo "linkcheck: required documentation file missing: $required" >&2
+    fail=1
+  fi
+done
+
 # README.md, docs/, examples/, and the repo-level process docs.
 mapfile -t files < <(find README.md ROADMAP.md docs examples -name '*.md' 2>/dev/null | sort)
 

@@ -1,11 +1,15 @@
 // Command apartd is the streaming partition daemon: the serving form of
 // the paper's adaptive partitioner. It ingests graph mutations over
 // HTTP/JSON, coalesces them into batches on a configurable tick, runs
-// the incremental re-adaptation loop between ticks, and answers
-// placement and statistics queries while the stream keeps flowing.
-// Checkpoints capture the complete partitioner state — graph, assignment,
-// scheduler frontier, RNG positions — so a restarted daemon resumes
-// deterministically mid-stream.
+// the incremental re-adaptation loop between ticks, and serves placement
+// reads from immutable, epoch-numbered routing snapshots that never
+// touch the adaptation lock — single lookups, batch lookups
+// (POST /v1/placements, mutually consistent within one epoch), and a
+// streaming change feed (GET /v1/watch, per-epoch diffs with a bounded
+// retention ring sized by -watch-ring). Checkpoints capture the complete
+// partitioner state — graph, assignment, scheduler frontier, RNG
+// positions — so a restarted daemon resumes deterministically
+// mid-stream.
 //
 // Start fresh, stream mutations, query placements:
 //
@@ -13,6 +17,8 @@
 //	curl -X POST localhost:8080/v1/mutations \
 //	     -d '{"mutations":[{"op":"add-edge","u":0,"v":1}]}'
 //	curl localhost:8080/v1/placement/0
+//	curl -X POST localhost:8080/v1/placements -d '{"vertices":[0,1,2]}'
+//	curl -N localhost:8080/v1/watch
 //	curl localhost:8080/v1/stats
 //
 // Checkpoint and resume:
@@ -22,8 +28,9 @@
 //
 // On SIGTERM/SIGINT the daemon stops accepting requests, absorbs the
 // pending mutation queue, writes a final checkpoint (when -checkpoint is
-// set) and exits. See docs/ARCHITECTURE.md for the full API reference
-// and the ingest→coalesce→re-adapt→serve data flow.
+// set) and exits. docs/API.md is the complete endpoint reference;
+// docs/ARCHITECTURE.md covers the ingest→coalesce→re-adapt→serve data
+// flow and docs/OPERATIONS.md the runbook.
 package main
 
 import (
@@ -71,6 +78,7 @@ func parseFlags(args []string) (*options, error) {
 		tick        = fs.Duration("tick", 250*time.Millisecond, "mutation-coalescing tick period")
 		maxSteps    = fs.Int("max-steps", 40, "heuristic iteration budget per tick")
 		window      = fs.Int("window", 30, "consecutive quiet iterations to declare convergence")
+		watchRing   = fs.Int("watch-ring", 0, "epoch diffs retained for GET /v1/watch resume (0 = default 256); older consumers get a resync event")
 		ckpt        = fs.String("checkpoint", "", "snapshot path for POST /v1/checkpoint, periodic and shutdown checkpoints")
 		ckptEvery   = fs.Int("checkpoint-every", 0, "auto-checkpoint every n ticks (0 = off; requires -checkpoint)")
 		restore     = fs.String("restore", "", "resume from this snapshot (algorithm parameters come from the snapshot)")
@@ -92,6 +100,7 @@ func parseFlags(args []string) (*options, error) {
 	cfg.ConvergenceWindow = *window
 	cfg.CheckpointPath = *ckpt
 	cfg.CheckpointEvery = *ckptEvery
+	cfg.WatchRing = *watchRing
 	return &options{addr: *addr, restore: *restore, drainTicks: *drainTicks, cfg: cfg}, nil
 }
 

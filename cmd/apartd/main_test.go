@@ -14,6 +14,7 @@ func TestParseFlags(t *testing.T) {
 	opts, err := parseFlags([]string{
 		"-addr", ":9999", "-k", "5", "-seed", "42", "-incremental=false",
 		"-tick", "50ms", "-checkpoint", "/tmp/x.snap", "-checkpoint-every", "4",
+		"-watch-ring", "64",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -26,6 +27,9 @@ func TestParseFlags(t *testing.T) {
 	}
 	if opts.cfg.TickEvery != 50*time.Millisecond || opts.cfg.CheckpointEvery != 4 {
 		t.Fatalf("parsed %+v", opts.cfg)
+	}
+	if opts.cfg.WatchRing != 64 {
+		t.Fatalf("watch ring %d, want 64", opts.cfg.WatchRing)
 	}
 }
 

@@ -1,0 +1,143 @@
+// Command doccheck is the documentation gate for exported API surface:
+// it parses the given package directories and fails when any exported
+// identifier — function, method on an exported type, type, constant or
+// variable — lacks a doc comment. CI runs it over the daemon-facing
+// packages (internal/server, internal/partition, internal/snapshot) so
+// the godoc contract (every exported symbol states its concurrency /
+// zero-copy expectations) cannot rot silently.
+//
+//	doccheck ./internal/server ./internal/partition ./internal/snapshot
+//
+// A grouped declaration (`const ( ... )`, `var ( ... )`) counts as
+// documented when either the group or the individual spec carries the
+// comment — matching idiomatic grouped-constant style. Test files are
+// skipped. It is deliberately dependency-free (go/ast only) so the gate
+// needs no tool installation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	missing, err := check(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, m)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers missing doc comments\n", len(missing))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck OK: %d package(s) fully documented\n", len(os.Args[1:]))
+}
+
+// check scans every non-test .go file under each dir (non-recursive)
+// and returns one "file:line: ..." finding per undocumented exported
+// identifier, sorted for stable output.
+func check(dirs []string) ([]string, error) {
+	var missing []string
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			missing = append(missing, checkFile(fset, file)...)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// checkFile reports the undocumented exported declarations of one file.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s is missing a doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d.Recv) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range sp.Names {
+						if n.IsExported() && sp.Doc == nil && d.Doc == nil {
+							kind := "variable"
+							if d.Tok == token.CONST {
+								kind = "constant"
+							}
+							report(n.Pos(), kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not API surface). Functions (nil
+// receiver list) count as exported surface.
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true // unrecognised shape: err on the side of checking
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFlagsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "bad.go", `package fixture
+
+type Undocumented struct{}
+
+func Exported() {}
+
+func (Undocumented) Method() {}
+
+const Answer = 42
+
+var Global int
+
+func unexported() {}
+
+type hidden struct{}
+
+func (hidden) Visible() {} // method on unexported type: not API surface
+`)
+	missing, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(missing, "\n")
+	for _, want := range []string{
+		"type Undocumented", "function Exported", "method Method",
+		"constant Answer", "variable Global",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	if len(missing) != 5 {
+		t.Fatalf("got %d findings, want 5:\n%s", len(missing), joined)
+	}
+	for _, dontWant := range []string{"unexported", "hidden", "Visible"} {
+		if strings.Contains(joined, dontWant) {
+			t.Errorf("false positive on %q:\n%s", dontWant, joined)
+		}
+	}
+}
+
+func TestCheckAcceptsDocumentedAndGroupDocs(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "good.go", `package fixture
+
+// Documented is documented.
+type Documented struct{}
+
+// Exported does things.
+func Exported() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+// Limits for the frobnicator.
+const (
+	MaxFrob = 10
+	MinFrob = 1
+)
+`)
+	// Test files are out of scope even when undocumented.
+	writeFixture(t, dir, "skip_test.go", `package fixture
+
+func HelperWithoutDoc() {}
+`)
+	missing, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("false positives:\n%s", strings.Join(missing, "\n"))
+	}
+}
+
+func TestCheckErrorsOnMissingDir(t *testing.T) {
+	if _, err := check([]string{filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Fatal("missing directory did not error")
+	}
+}

@@ -8,8 +8,10 @@
 //  4. compare cut ratios and show what that means for a real computation
 //     by running PageRank on the BSP engine under both partitionings,
 //  5. run the same workflow as a *service*: an in-process apartd daemon
-//     ingests a mutation stream over its HTTP API, answers placement
-//     queries, checkpoints, and restores with identical assignments.
+//     ingests a mutation stream over its HTTP API, serves placements
+//     from its epoch-numbered routing snapshots (single and batch
+//     lookups), streams per-epoch placement diffs over the watch feed,
+//     checkpoints, and restores with identical assignments.
 //
 // Run with: go run ./examples/quickstart
 // (See README.md in this directory for the same daemon walkthrough
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -76,7 +79,8 @@ func main() {
 }
 
 // daemonDemo drives an in-process apartd daemon through the HTTP API:
-// stream mutations, query a placement, checkpoint, restore, and verify
+// stream mutations while tailing the watch feed, batch-query
+// placements at one consistent epoch, checkpoint, restore, and verify
 // the restored daemon serves identical placements.
 func daemonDemo(k int) {
 	cfg := server.DefaultConfig(k, 42)
@@ -87,6 +91,36 @@ func daemonDemo(k int) {
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
+
+	// Tail the watch feed from epoch 2 (epoch 1 is the empty bootstrap
+	// snapshot): every line is one epoch's exact placement diff.
+	type watchEvent struct {
+		Resync  bool   `json:"resync"`
+		Epoch   uint64 `json:"epoch"`
+		Changes []struct {
+			Vertex int64 `json:"vertex"`
+			From   int64 `json:"from"`
+			To     int64 `json:"to"`
+		} `json:"changes"`
+	}
+	watchResp, err := http.Get(ts.URL + "/v1/watch?from=2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer watchResp.Body.Close()
+	watched := make(chan watchEvent, 1024)
+	go func() {
+		defer close(watched)
+		sc := bufio.NewScanner(watchResp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev watchEvent
+			if json.Unmarshal(sc.Bytes(), &ev) != nil {
+				return
+			}
+			watched <- ev
+		}
+	}()
 
 	// Stream a community-structured graph — k communities of 100
 	// vertices, dense inside, one bridge between consecutive
@@ -129,6 +163,73 @@ func daemonDemo(k int) {
 	fmt.Printf("daemon: streamed %d mutations, adapted to cut ratio %.3f in %d iterations\n",
 		st.Ingested, st.CutRatio, st.Iteration)
 	fmt.Printf("daemon: vertex 17 → partition %d (GET /v1/placement/17)\n", placement.Partition)
+
+	// Batch lookup: every placement in one request, answered from one
+	// routing snapshot — mutually consistent, stamped with its epoch.
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	reqBody, _ := json.Marshal(map[string][]int64{"vertices": ids})
+	batchResp, err := http.Post(ts.URL+"/v1/placements", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var batch struct {
+		Epoch      uint64 `json:"epoch"`
+		Placements []struct {
+			Vertex    int64 `json:"vertex"`
+			Partition int64 `json:"partition"`
+		} `json:"placements"`
+	}
+	if err := json.NewDecoder(batchResp.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+	batchResp.Body.Close()
+	fmt.Printf("daemon: batch-read all %d placements at epoch %d (POST /v1/placements)\n",
+		len(batch.Placements), batch.Epoch)
+
+	// The watch feed saw the same history as per-epoch diffs: replaying
+	// them must land on exactly the batch-read table.
+	replayed := map[int64]int64{}
+	migrations := 0
+	lastEpoch := uint64(0)
+tail:
+	for {
+		select {
+		case ev, ok := <-watched:
+			if !ok || ev.Resync {
+				log.Fatal("watch feed ended or resynced unexpectedly")
+			}
+			for _, ch := range ev.Changes {
+				if ch.From != -1 && ch.To != -1 {
+					migrations++
+				}
+				if ch.To == -1 {
+					delete(replayed, ch.Vertex)
+				} else {
+					replayed[ch.Vertex] = ch.To
+				}
+			}
+			lastEpoch = ev.Epoch
+			if lastEpoch >= batch.Epoch {
+				break tail
+			}
+		case <-time.After(5 * time.Second):
+			log.Fatalf("watch feed stalled at epoch %d (want %d)", lastEpoch, batch.Epoch)
+		}
+	}
+	for _, pl := range batch.Placements {
+		got, ok := replayed[pl.Vertex]
+		if !ok {
+			got = -1
+		}
+		if got != pl.Partition {
+			log.Fatalf("watch replay diverged at vertex %d: %d vs %d", pl.Vertex, got, pl.Partition)
+		}
+	}
+	fmt.Printf("daemon: watch feed replayed %d epochs (%d migrations) to the identical table (GET /v1/watch)\n",
+		lastEpoch-1, migrations)
 
 	// Checkpoint, restore into a second daemon, verify placements match.
 	dir, err := os.MkdirTemp("", "apartd-quickstart")

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"xdgp/internal/gen"
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+func ringBatchN(n int) graph.Batch {
+	b := make(graph.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, graph.Mutation{Kind: graph.MutAddEdge,
+			U: graph.VertexID(i), V: graph.VertexID((i + 1) % n)})
+	}
+	return b
+}
+
+// TestChangeTrackingCoversAllWrites pins the contract the daemon's
+// routing-snapshot publisher depends on: with tracking enabled, every
+// vertex whose assignment the partitioner writes — stream placements,
+// removal unassignments, granted migrations — appears in DrainChanges
+// before the write becomes externally visible as a table difference.
+func TestChangeTrackingCoversAllWrites(t *testing.T) {
+	g := graph.NewUndirected(0)
+	cfg := DefaultConfig(4, 11)
+	cfg.RecordEvery = 0
+	p, err := New(g, partition.NewAssignment(0, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracking off (the default): nothing accumulates.
+	p.ApplyBatch(ringBatchN(50))
+	if c := p.DrainChanges(); c != nil {
+		t.Fatalf("tracking off but DrainChanges returned %d entries", len(c))
+	}
+
+	p.SetChangeTracking(true)
+	prev := p.Assignment().Freeze()
+
+	verifyDrainExplainsDiff := func(step string) {
+		t.Helper()
+		cur := p.Assignment().Freeze()
+		changed := make(map[graph.VertexID]bool)
+		for _, v := range p.DrainChanges() {
+			changed[v] = true
+		}
+		slots := cur.Slots()
+		if prev.Slots() > slots {
+			slots = prev.Slots()
+		}
+		for v := graph.VertexID(0); int(v) < slots; v++ {
+			if prev.Of(v) != cur.Of(v) && !changed[v] {
+				t.Fatalf("%s: vertex %d moved %d→%d but was not reported",
+					step, v, prev.Of(v), cur.Of(v))
+			}
+		}
+		prev = cur
+	}
+
+	// Stream placements.
+	p.ApplyBatch(ringBatchN(100))
+	verifyDrainExplainsDiff("placements")
+
+	// Granted migrations, across enough iterations to see real moves.
+	moved := 0
+	for i := 0; i < 40 && moved == 0; i++ {
+		moved += p.Step().Migrations
+		verifyDrainExplainsDiff("step")
+	}
+	if moved == 0 {
+		t.Fatal("no migrations happened; test exercised nothing")
+	}
+
+	// Removal unassignments.
+	p.ApplyBatch(graph.Batch{{Kind: graph.MutRemoveVertex, U: 7}})
+	verifyDrainExplainsDiff("removal")
+
+	// Drain resets: an immediate second drain is empty.
+	if c := p.DrainChanges(); c != nil {
+		t.Fatalf("second drain returned %d entries", len(c))
+	}
+}
+
+// TestChangeTrackingIsPassive: enabling tracking must not perturb the
+// heuristic — same seed, same stream, byte-identical assignments.
+func TestChangeTrackingIsPassive(t *testing.T) {
+	run := func(track bool) []partition.ID {
+		g := gen.BarabasiAlbert(400, 2, 5)
+		asn := partition.Hash(g, 4)
+		cfg := DefaultConfig(4, 3)
+		cfg.RecordEvery = 0
+		p, err := New(g, asn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if track {
+			p.SetChangeTracking(true)
+		}
+		for i := 0; i < 60; i++ {
+			p.Step()
+			if track {
+				p.DrainChanges()
+			}
+		}
+		return p.Assignment().Table()
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d diverged with tracking on: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

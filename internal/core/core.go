@@ -198,6 +198,14 @@ type Partitioner struct {
 	active       *activeset.Set
 	touchScratch []graph.VertexID
 	quotaCol     []int
+	// Change tracking (SetChangeTracking): when on, every vertex whose
+	// assignment this partitioner writes — granted moves, stream
+	// placements, removal unassignments — is appended to changed until
+	// the next DrainChanges. Off by default and entirely passive: it
+	// consumes no randomness and cannot alter any decision, so runs are
+	// byte-identical with tracking on or off.
+	trackChanges bool
+	changed      []graph.VertexID
 }
 
 type move struct {
@@ -257,6 +265,40 @@ func New(g *graph.Graph, asn *partition.Assignment, cfg Config) (*Partitioner, e
 // Parallelism returns the resolved shard count the sweep runs with.
 func (p *Partitioner) Parallelism() int { return p.par }
 
+// SetChangeTracking turns assignment-change recording on or off. While
+// on, ApplyBatch and Step append every vertex whose placement they write
+// to an internal buffer that DrainChanges hands over; the daemon's
+// serving plane uses this to derive per-epoch routing diffs. Tracking is
+// passive — it never affects the heuristic's decisions or RNG streams —
+// but the buffer grows until drained, so only enable it when something
+// drains it. Toggling clears any undrained entries. Not safe for
+// concurrent use with Step/ApplyBatch; callers synchronize externally
+// (the daemon holds its state lock).
+func (p *Partitioner) SetChangeTracking(on bool) {
+	p.trackChanges = on
+	p.changed = nil
+}
+
+// DrainChanges returns the vertices whose assignment changed since the
+// previous drain (or since tracking was enabled) and resets the buffer.
+// The returned slice is owned by the caller; it may contain duplicates
+// when a vertex changed more than once, and entries whose placement
+// ended up back where it started — consumers diff against their own
+// previous table. Returns nil when tracking is off or nothing changed.
+// Same synchronization contract as SetChangeTracking.
+func (p *Partitioner) DrainChanges() []graph.VertexID {
+	c := p.changed
+	p.changed = nil
+	return c
+}
+
+// recordChange notes that v's assignment was written, when tracking.
+func (p *Partitioner) recordChange(v graph.VertexID) {
+	if p.trackChanges {
+		p.changed = append(p.changed, v)
+	}
+}
+
 // Assignment returns the live assignment table (mutated by Step).
 func (p *Partitioner) Assignment() *partition.Assignment { return p.asn }
 
@@ -315,6 +357,7 @@ func (p *Partitioner) ApplyBatch(b graph.Batch) int {
 	for _, v := range removedCandidates {
 		if !p.g.Has(v) {
 			p.asn.Unassign(v)
+			p.recordChange(v)
 		}
 	}
 	// Place newly-live vertices that have no partition yet.
@@ -365,6 +408,7 @@ func (p *Partitioner) placeIfNew(v graph.VertexID) {
 		}
 	}
 	p.asn.Assign(v, target)
+	p.recordChange(v)
 }
 
 func (p *Partitioner) leastLoaded() partition.ID {
@@ -468,8 +512,11 @@ func (p *Partitioner) Step() IterationStats {
 	}
 
 	// Apply all granted migrations simultaneously (end of iteration).
+	// Every execution path (sequential, sharded, incremental) funnels its
+	// grants into p.moves, so recording here covers them all.
 	for _, mv := range p.moves {
 		p.asn.Assign(mv.v, mv.to)
+		p.recordChange(mv.v)
 	}
 	if p.cfg.Incremental {
 		// Every applied move changes the Γ-counts of the mover's

@@ -1,0 +1,55 @@
+package partition
+
+import "xdgp/internal/graph"
+
+// Frozen is an immutable point-in-time copy of an Assignment: a compact
+// slot-indexed vertex→partition table (4 bytes per slot) with no size
+// counters and no mutators. Once built it is never written again, so any
+// number of goroutines may read it concurrently without synchronization —
+// this is the routing-table representation the daemon's serving plane
+// publishes through an atomic pointer, one epoch per adaptation step
+// (see internal/server).
+type Frozen struct {
+	of       []ID
+	k        int
+	assigned int
+}
+
+// Freeze copies the current table into a new Frozen. It is the only way
+// to build one, and the copy is what makes the immutability contract
+// hold: later Assign calls on the Assignment cannot reach a published
+// Frozen. Cost is O(slots); callers on a hot write path should freeze
+// once per batch of changes, not once per change.
+func (a *Assignment) Freeze() *Frozen {
+	f := &Frozen{
+		of: append([]ID(nil), a.of...),
+		k:  a.k,
+	}
+	for _, p := range f.of {
+		if p != None {
+			f.assigned++
+		}
+	}
+	return f
+}
+
+// Of returns the partition of v, or None when v is unassigned or outside
+// the table. Safe for unsynchronized concurrent use: it is one bounds
+// check and one array load on immutable data.
+func (f *Frozen) Of(v graph.VertexID) ID {
+	if v < 0 || int(v) >= len(f.of) {
+		return None
+	}
+	return f.of[v]
+}
+
+// K returns the number of partitions the table was frozen with.
+func (f *Frozen) K() int { return f.k }
+
+// Slots returns the size of the frozen vertex table (the exclusive upper
+// bound on vertex IDs it can answer for).
+func (f *Frozen) Slots() int { return len(f.of) }
+
+// Assigned returns the number of vertices that held a partition at
+// freeze time.
+func (f *Frozen) Assigned() int { return f.assigned }

@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"sync"
+	"testing"
+
+	"xdgp/internal/graph"
+)
+
+func TestFreezeSnapshotsAndDetaches(t *testing.T) {
+	a := NewAssignment(6, 3)
+	a.Assign(0, 2)
+	a.Assign(1, 1)
+	a.Assign(4, 0)
+
+	f := a.Freeze()
+	if f.K() != 3 || f.Slots() != 6 || f.Assigned() != 3 {
+		t.Fatalf("frozen header k=%d slots=%d assigned=%d", f.K(), f.Slots(), f.Assigned())
+	}
+	for _, tc := range []struct {
+		v    graph.VertexID
+		want ID
+	}{{0, 2}, {1, 1}, {2, None}, {4, 0}, {5, None}} {
+		if got := f.Of(tc.v); got != tc.want {
+			t.Fatalf("Of(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Out-of-range lookups are None, not a panic.
+	if f.Of(-1) != None || f.Of(99) != None {
+		t.Fatal("out-of-range lookup not None")
+	}
+
+	// Mutating the live assignment afterwards must not reach the frozen
+	// copy — that detachment is the whole point of Freeze.
+	a.Assign(0, 1)
+	a.Assign(2, 0)
+	a.Grow(100)
+	if f.Of(0) != 2 || f.Of(2) != None || f.Slots() != 6 {
+		t.Fatal("frozen table changed after Assign/Grow on the source")
+	}
+}
+
+// TestFrozenConcurrentReaders drives many readers over one Frozen while
+// the source assignment churns; run under -race this pins the
+// no-synchronization-needed contract.
+func TestFrozenConcurrentReaders(t *testing.T) {
+	a := NewAssignment(128, 4)
+	for v := graph.VertexID(0); v < 128; v++ {
+		a.Assign(v, ID(int(v)%4))
+	}
+	f := a.Freeze()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				v := graph.VertexID(i % 130) // includes out-of-range
+				got := f.Of(v)
+				if int(v) < 128 && got != ID(int(v)%4) {
+					t.Errorf("Of(%d) = %d", v, got)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent writes to the *source* are legal and invisible.
+	for i := 0; i < 1000; i++ {
+		a.Assign(graph.VertexID(i%128), ID((i+1)%4))
+	}
+	wg.Wait()
+}

@@ -22,6 +22,10 @@ const None ID = -1
 
 // Assignment maps every live vertex to a partition and tracks partition
 // sizes. It is indexed by dense VertexID, so lookups are array accesses.
+// An Assignment is NOT safe for concurrent use: readers and writers must
+// share a lock (the daemon's adaptation path does), or readers should
+// take an immutable Freeze copy and drop the lock entirely — that is the
+// serving plane's approach.
 type Assignment struct {
 	of    []ID
 	sizes []int

@@ -12,12 +12,21 @@ import (
 
 // This file is the daemon's HTTP surface. All request and response
 // bodies are JSON; errors come back as {"error": "..."} with a 4xx/5xx
-// status. See docs/ARCHITECTURE.md and the README's API reference table
-// for the endpoint contract.
+// status. docs/API.md is the complete endpoint reference, including the
+// epoch-consistency semantics of the read endpoints.
 
 // maxIngestBody bounds one POST /v1/mutations body (64 MiB ≈ 1.5M
 // mutations) so a runaway client cannot exhaust memory in one request.
 const maxIngestBody = 64 << 20
+
+// maxBatchVertices bounds one POST /v1/placements request; clients
+// shard larger lookups across requests (each request is answered from
+// one snapshot either way).
+const maxBatchVertices = 100_000
+
+// maxBatchBody bounds the batch-lookup request body (IDs are ≤20 bytes
+// of JSON each; 4 MiB comfortably fits maxBatchVertices).
+const maxBatchBody = 4 << 20
 
 // MutationJSON is the wire form of one mutation. Op is one of
 // "add-vertex", "remove-vertex", "add-edge", "remove-edge"; U is the
@@ -83,6 +92,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mutations", s.handleMutations)
 	mux.HandleFunc("GET /v1/placement/{vertex}", s.handlePlacement)
+	mux.HandleFunc("POST /v1/placements", s.handleBatchPlacements)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -141,6 +152,76 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		"vertex":    id,
 		"partition": int64(p),
 	})
+}
+
+// BatchRequest is the body of POST /v1/placements: up to
+// maxBatchVertices vertex IDs to look up in one shot.
+type BatchRequest struct {
+	Vertices []int64 `json:"vertices"`
+}
+
+// BatchPlacement is one entry of a batch-lookup response. Partition is
+// -1 when the vertex is not placed in the answering snapshot (unknown,
+// removed, or still in the ingest queue) — batch lookups report absence
+// inline rather than failing the whole request.
+type BatchPlacement struct {
+	Vertex    int64 `json:"vertex"`
+	Partition int64 `json:"partition"`
+}
+
+// BatchResponse is the body of a POST /v1/placements reply. Every entry
+// was answered from the single routing snapshot identified by Epoch, so
+// the results are mutually consistent: no interleaved migration can be
+// half-visible within one response.
+type BatchResponse struct {
+	Epoch      uint64           `json:"epoch"`
+	Placements []BatchPlacement `json:"placements"`
+}
+
+// BatchLookup answers a batch of placement lookups from one routing
+// snapshot. It never touches the adaptation state lock; the snapshot is
+// pinned by a single atomic load, so the whole result set reflects one
+// epoch even while ticks are publishing new ones concurrently.
+func (s *Server) BatchLookup(ids []graph.VertexID) BatchResponse {
+	snap := s.routing.Load()
+	resp := BatchResponse{
+		Epoch:      snap.Epoch,
+		Placements: make([]BatchPlacement, len(ids)),
+	}
+	for i, v := range ids {
+		resp.Placements[i] = BatchPlacement{
+			Vertex:    int64(v),
+			Partition: int64(snap.Table.Of(v)),
+		}
+	}
+	s.batchRequests.Add(1)
+	s.batchLookups.Add(uint64(len(ids)))
+	return resp
+}
+
+func (s *Server) handleBatchPlacements(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if len(req.Vertices) > maxBatchVertices {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d vertices exceeds the per-request maximum %d; shard the lookup", len(req.Vertices), maxBatchVertices))
+		return
+	}
+	ids := make([]graph.VertexID, len(req.Vertices))
+	for i, raw := range req.Vertices {
+		if err := checkWireID(raw); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("vertex %d: %w", i, err))
+			return
+		}
+		ids[i] = graph.VertexID(raw)
+	}
+	writeJSON(w, http.StatusOK, s.BatchLookup(ids))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // This file renders GET /metrics in the Prometheus text exposition
@@ -30,6 +31,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("apartd_migrations_total", "Granted vertex migrations.", s.migrations.Load())
 	counter("apartd_checkpoints_total", "Snapshots written.", s.checkpoints.Load())
 	counter("apartd_checkpoint_failures_total", "Periodic/drain checkpoint attempts that failed.", s.ckptFailures.Load())
+
+	// Serving plane: epoch/age come from one atomic snapshot load, ring
+	// occupancy from the hub's own mutex — nothing here touches the
+	// adaptation state lock.
+	snap := s.routing.Load()
+	counter("apartd_routing_publishes_total", "Routing snapshots published (epochs minus the bootstrap).", s.publishes.Load())
+	gauge("apartd_routing_epoch", "Epoch of the currently served routing snapshot.", float64(snap.Epoch))
+	gauge("apartd_routing_snapshot_age_seconds", "Age of the current routing snapshot (high while adaptation is idle — pair with apartd_ingest_pending).",
+		time.Since(time.Unix(0, snap.CreatedUnixNano)).Seconds())
+	gauge("apartd_routing_vertices", "Vertices placed in the current routing snapshot.", float64(snap.Table.Assigned()))
+	retained, evicted := s.hub.retained()
+	gauge("apartd_watch_subscribers", "Currently connected /v1/watch streams.", float64(s.watchers.Load()))
+	gauge("apartd_watch_ring_retained", "Epoch diffs currently retained for watch resume.", float64(retained))
+	counter("apartd_watch_events_total", "Diff lines written across all watch streams.", s.watchEvents.Load())
+	counter("apartd_watch_resyncs_total", "Resync events sent to watchers that fell behind the diff ring.", s.watchResyncs.Load())
+	counter("apartd_watch_evicted_total", "Epoch diffs dropped off the retention ring (watch lag ceiling).", evicted)
+	counter("apartd_batch_requests_total", "POST /v1/placements requests served.", s.batchRequests.Load())
+	counter("apartd_batch_lookups_total", "Vertex lookups served by batch requests.", s.batchLookups.Load())
 
 	pending, age := s.PendingMutations()
 	gauge("apartd_ingest_pending", "Mutations waiting for the next tick.", float64(pending))

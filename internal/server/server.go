@@ -62,6 +62,11 @@ type Config struct {
 	// CheckpointEvery auto-checkpoints every n ticks (0 disables).
 	// Requires CheckpointPath.
 	CheckpointEvery int
+	// WatchRing is how many recent epoch diffs the GET /v1/watch feed
+	// retains for late or reconnecting consumers; a consumer asking for
+	// older epochs gets a resync event instead. Bounds the feed's memory
+	// regardless of consumer speed. 0 means DefaultWatchRing.
+	WatchRing int
 }
 
 // DefaultConfig returns the daemon's standard setting: the paper's
@@ -91,6 +96,9 @@ func (c Config) validate() error {
 	}
 	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
 		return fmt.Errorf("server: CheckpointEvery=%d requires CheckpointPath", c.CheckpointEvery)
+	}
+	if c.WatchRing < 0 {
+		return fmt.Errorf("server: WatchRing must be ≥ 0, got %d", c.WatchRing)
 	}
 	return nil
 }
@@ -134,6 +142,21 @@ type Server struct {
 	ckptFailures atomic.Uint64 // periodic/drain checkpoint attempts that failed
 	lastBatch    atomic.Int64  // size of the last coalesced batch
 	lastCkptUnx  atomic.Int64  // unix seconds of the last checkpoint
+
+	// The serving plane: routing holds the current epoch snapshot (all
+	// read endpoints load it with one atomic pointer read and never take
+	// mu), hub fans epoch diffs out to /v1/watch consumers. Both are
+	// written only by publishRouting, under mu.
+	routing atomic.Pointer[RoutingSnapshot]
+	hub     *watchHub
+
+	// Serving-plane counters, atomically updated, exported by /metrics.
+	publishes     atomic.Uint64 // routing snapshots published
+	watchers      atomic.Int64  // currently connected watch streams
+	watchEvents   atomic.Uint64 // diff lines written across all watchers
+	watchResyncs  atomic.Uint64 // resync events sent to lagging watchers
+	batchRequests atomic.Uint64 // POST /v1/placements requests served
+	batchLookups  atomic.Uint64 // vertex lookups served by those requests
 
 	mux      *http.ServeMux
 	started  atomic.Bool
@@ -189,13 +212,19 @@ func Restore(cfg Config, snap *snapshot.Snapshot) (*Server, error) {
 }
 
 func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
+	ring := cfg.WatchRing
+	if ring == 0 {
+		ring = DefaultWatchRing
+	}
 	s := &Server{
 		cfg:      cfg,
 		coreCfg:  coreCfg,
 		part:     p,
+		hub:      newWatchHub(uint64(ring)),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	s.publishInitialRouting()
 	s.mux = s.routes()
 	return s
 }
@@ -263,6 +292,10 @@ func (s *Server) TickNow() TickResult {
 	if len(batch) > 0 {
 		res.Applied = s.part.ApplyBatch(batch)
 		s.applied.Add(uint64(res.Applied))
+		// Freshly streamed vertices become routable before the first
+		// adaptation step: the batch's placements are an epoch of their
+		// own.
+		s.publishRouting()
 	}
 	converged := s.part.Converged()
 	s.mu.Unlock()
@@ -291,6 +324,10 @@ func (s *Server) TickNow() TickResult {
 	// order-independent), and checkpoints taken mid-overlay serialize the
 	// overlay exactly either way.
 	s.mu.Lock()
+	// Publish the tick's adaptation outcome as one epoch: every migration
+	// granted across the step loop above, folded into a single snapshot
+	// swap and one watch diff.
+	s.publishRouting()
 	if s.part.Graph().MaybeCompact() {
 		res.Compacted = true
 	}
@@ -452,9 +489,23 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Placement returns the partition of v, with ok=false when v is not a
-// live assigned vertex (it may still be in the pending ingest queue).
+// Placement returns the partition of v as of the current routing
+// snapshot, with ok=false when v is not placed there (unknown, removed,
+// or still in the ingest queue). It is one atomic pointer load and one
+// array read — it never touches the adaptation state lock, so reads
+// stay fast while a tick is absorbing a batch. Staleness is bounded by
+// the publish points: at most one in-flight tick behind the live
+// assignment.
 func (s *Server) Placement(v graph.VertexID) (partition.ID, bool) {
+	p := s.routing.Load().Table.Of(v)
+	return p, p != partition.None
+}
+
+// placementLocked is the pre-serving-plane read path — the live
+// assignment under the state lock. Kept (unexported) as the benchmark
+// baseline the routing snapshot is measured against; not used by any
+// endpoint.
+func (s *Server) placementLocked(v graph.VertexID) (partition.ID, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if !s.part.Graph().Has(v) {

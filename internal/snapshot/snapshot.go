@@ -123,7 +123,11 @@ type Meta struct {
 	CreatedUnix int64
 }
 
-// Snapshot is the in-memory form of a checkpoint.
+// Snapshot is the in-memory form of a checkpoint. Its fields are deep
+// copies owned exclusively by the snapshot (nothing aliases live
+// partitioner state), so a captured snapshot may be written to disk from
+// another goroutine while adaptation resumes — but a Snapshot itself is
+// not synchronized: hand it off, don't share it.
 type Snapshot struct {
 	Params     Params
 	Meta       Meta
