@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,10 +59,13 @@ func main() {
 
 // options is the parsed command line.
 type options struct {
-	addr       string
-	restore    string
-	drainTicks int
-	cfg        server.Config
+	addr              string
+	binaryAddr        string
+	restore           string
+	drainTicks        int
+	readHeaderTimeout time.Duration
+	idleTimeout       time.Duration
+	cfg               server.Config
 }
 
 // parseFlags builds the daemon configuration from the command line.
@@ -69,6 +73,7 @@ func parseFlags(args []string) (*options, error) {
 	fs := flag.NewFlagSet("apartd", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		binaryAddr  = fs.String("binary-addr", "", "binary ingest plane listen address (empty = disabled); see docs/API.md for the frame protocol")
 		k           = fs.Int("k", 9, "number of partitions")
 		seed        = fs.Int64("seed", 1, "random seed (with the stream, determines every placement)")
 		s           = fs.Float64("s", 0.5, "willingness to move (0,1]")
@@ -83,6 +88,12 @@ func parseFlags(args []string) (*options, error) {
 		ckptEvery   = fs.Int("checkpoint-every", 0, "auto-checkpoint every n ticks (0 = off; requires -checkpoint)")
 		restore     = fs.String("restore", "", "resume from this snapshot (algorithm parameters come from the snapshot)")
 		drainTicks  = fs.Int("drain-ticks", 1000, "max ticks the shutdown drain runs to absorb the pending queue")
+		maxPending  = fs.Int("max-pending", 0, "ingest queue cap in mutations; producers over it get HTTP 429 / binary NAK backpressure (0 = default 1048576, -1 = unbounded)")
+		shards      = fs.Int("ingest-shards", 0, "independent ingest queues (0 = one per CPU, capped at 32)")
+		readHdrTO   = fs.Duration("read-header-timeout", 10*time.Second, "HTTP request-header read timeout (slowloris guard)")
+		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle connection timeout")
+		watchTO     = fs.Duration("watch-write-timeout", 0, "per-event write deadline on GET /v1/watch streams; stalled consumers past it are dropped (0 = default 30s, -1ns = none)")
+		binIdleTO   = fs.Duration("binary-idle-timeout", 0, "disconnect a silent binary-plane connection after this long (0 = default 5m, -1ns = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -101,7 +112,19 @@ func parseFlags(args []string) (*options, error) {
 	cfg.CheckpointPath = *ckpt
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.WatchRing = *watchRing
-	return &options{addr: *addr, restore: *restore, drainTicks: *drainTicks, cfg: cfg}, nil
+	cfg.MaxPending = *maxPending
+	cfg.IngestShards = *shards
+	cfg.WatchWriteTimeout = *watchTO
+	cfg.BinaryIdleTimeout = *binIdleTO
+	return &options{
+		addr:              *addr,
+		binaryAddr:        *binaryAddr,
+		restore:           *restore,
+		drainTicks:        *drainTicks,
+		readHeaderTimeout: *readHdrTO,
+		idleTimeout:       *idleTO,
+		cfg:               cfg,
+	}, nil
 }
 
 // buildServer constructs the daemon, fresh or from a snapshot.
@@ -136,13 +159,33 @@ func run(args []string) error {
 	srv.Start()
 	defer srv.Stop()
 
+	// WriteTimeout stays zero on purpose: GET /v1/watch responses are
+	// unbounded streams, and each event write already runs under the
+	// per-event deadline (-watch-write-timeout). The header and idle
+	// timeouts close the slowloris and abandoned-keep-alive holes.
 	httpSrv := &http.Server{
 		Addr:              opts.addr,
 		Handler:           srv,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		IdleTimeout:       opts.idleTimeout,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	var binLn net.Listener
+	if opts.binaryAddr != "" {
+		var err error
+		binLn, err = net.Listen("tcp", opts.binaryAddr)
+		if err != nil {
+			return fmt.Errorf("binary listener: %w", err)
+		}
+		go func() {
+			if err := srv.ServeBinary(binLn); err != nil {
+				errCh <- fmt.Errorf("binary plane: %w", err)
+			}
+		}()
+		log.Printf("binary ingest plane listening on %s", binLn.Addr())
+	}
 	log.Printf("apartd listening on %s (k=%d seed=%d incremental=%v tick=%s checkpoint=%q)",
 		opts.addr, cfg.K, cfg.Seed, cfg.Incremental, cfg.TickEvery, cfg.CheckpointPath)
 
@@ -156,6 +199,9 @@ func run(args []string) error {
 		return err
 	case got := <-sig:
 		log.Printf("received %s: draining", got)
+		if binLn != nil {
+			binLn.Close() //nolint:errcheck // stop new producers; live conns close in srv.Stop via Drain
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx) //nolint:errcheck // in-flight requests get the grace window

@@ -1,0 +1,678 @@
+// Command loadgen replays an edge-list stream (the output of
+// gengraph -stream, or any SNAP-style "u v" file) against a live apartd
+// as a mutation load, over either ingest plane:
+//
+//   - -mode json posts batches to POST /v1/mutations;
+//   - -mode binary speaks the length-prefixed frame protocol on the
+//     daemon's -binary-addr listener (docs/API.md, "Binary ingest
+//     plane").
+//
+// Producers honour backpressure — HTTP 429 Retry-After and binary
+// backpressure NAKs both pause the offered load instead of counting as
+// errors — so a run against an overloaded daemon measures the sustained
+// admitted rate, not a pile of failures. Alongside the mutation stream
+// it can drive a read mix at a fixed rate (single lookups, batch
+// lookups, watch streams) and reports read latency quantiles under
+// churn. The run ends when the stream is exhausted (or -limit is hit),
+// waits for the daemon's ingest queue to drain, and emits a
+// machine-readable JSON report:
+//
+//	gengraph -ba 1000000:3 -stream -seed 7 -out ba1m.edges
+//	apartd -addr :8080 -binary-addr :8081 &
+//	loadgen -target http://127.0.0.1:8080 -mode binary -binary-target 127.0.0.1:8081 \
+//	        -in ba1m.edges -conns 4 -batch 4096 -read-qps 2000 -watch 2
+//
+// A non-zero exit means hard errors (protocol failures, 5xx, transport
+// errors) occurred; backpressure retries never fail a run.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdgp/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed command line.
+type options struct {
+	target       string        // apartd HTTP base URL
+	binaryTarget string        // binary plane host:port (mode binary)
+	mode         string        // "json" or "binary"
+	in           string        // edge-list path, "-" = stdin
+	batch        int           // mutations per request/frame
+	conns        int           // concurrent producer connections
+	qps          float64       // target offered mutations/sec (0 = unthrottled)
+	limit        uint64        // stop after this many mutations (0 = whole stream)
+	readQPS      float64       // placement reads/sec (0 = no reads)
+	readBatch    int           // vertices per read; ≤1 = single lookups
+	watch        int           // concurrent watch streams
+	drainWait    time.Duration // how long to wait for the ingest queue to drain
+	quiet        bool          // suppress the human summary on stderr
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.target, "target", "http://127.0.0.1:8080", "apartd base URL (stats, reads, JSON ingest)")
+	fs.StringVar(&o.binaryTarget, "binary-target", "", "binary ingest plane address host:port (required with -mode binary)")
+	fs.StringVar(&o.mode, "mode", "json", "mutation plane: json or binary")
+	fs.StringVar(&o.in, "in", "-", "edge-list input file (- = stdin); gengraph -stream output works directly")
+	fs.IntVar(&o.batch, "batch", 1024, "mutations per request/frame")
+	fs.IntVar(&o.conns, "conns", 4, "concurrent producer connections")
+	fs.Float64Var(&o.qps, "qps", 0, "target offered mutations/sec across all producers (0 = unthrottled)")
+	fs.Uint64Var(&o.limit, "limit", 0, "stop after this many mutations (0 = the whole stream)")
+	fs.Float64Var(&o.readQPS, "read-qps", 0, "placement reads/sec during the run (0 = none)")
+	fs.IntVar(&o.readBatch, "read-batch", 1, "vertices per read: 1 = GET /v1/placement/{v}, >1 = POST /v1/placements batches")
+	fs.IntVar(&o.watch, "watch", 0, "concurrent GET /v1/watch streams to hold open during the run")
+	fs.DurationVar(&o.drainWait, "drain-wait", time.Minute, "how long to wait for mutations_pending to reach zero after the stream ends")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress the human-readable summary on stderr")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.mode != "json" && o.mode != "binary" {
+		return nil, fmt.Errorf("-mode %q: want json or binary", o.mode)
+	}
+	if o.mode == "binary" && o.binaryTarget == "" {
+		return nil, fmt.Errorf("-mode binary requires -binary-target")
+	}
+	if o.batch < 1 || o.conns < 1 {
+		return nil, fmt.Errorf("-batch and -conns must be ≥ 1")
+	}
+	if o.readBatch < 1 {
+		o.readBatch = 1
+	}
+	return &o, nil
+}
+
+// Report is the machine-readable run summary printed to stdout.
+type Report struct {
+	Mode              string  `json:"mode"`
+	Offered           uint64  `json:"mutations_offered"`
+	Accepted          uint64  `json:"mutations_accepted"`
+	BackpressureWaits uint64  `json:"backpressure_waits"`
+	Errors            uint64  `json:"errors"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	MutationsPerSec   float64 `json:"mutations_per_sec"`
+	Reads             uint64  `json:"reads"`
+	ReadErrors        uint64  `json:"read_errors"`
+	ReadP50Millis     float64 `json:"read_p50_ms"`
+	ReadP99Millis     float64 `json:"read_p99_ms"`
+	WatchStreams      int     `json:"watch_streams"`
+	WatchEvents       uint64  `json:"watch_events"`
+	DrainSeconds      float64 `json:"drain_seconds"`
+	Drained           bool    `json:"drained"`
+}
+
+// counters is the shared scoreboard all workers write into.
+type counters struct {
+	offered      atomic.Uint64
+	accepted     atomic.Uint64
+	backpressure atomic.Uint64
+	errors       atomic.Uint64
+	reads        atomic.Uint64
+	readErrors   atomic.Uint64
+	watchEvents  atomic.Uint64
+	maxVertex    atomic.Int64 // highest vertex ID offered so far; read targets
+	lat          latencyHist
+	errOnce      sync.Once
+	firstErr     atomic.Value // string: first hard error, for the exit message
+}
+
+func (c *counters) hardError(err error) {
+	c.errors.Add(1)
+	c.errOnce.Do(func() { c.firstErr.Store(err.Error()) })
+}
+
+func run(args []string, stdout io.Writer) error {
+	opts, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if opts.in != "-" {
+		f, err := os.Open(opts.in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.conns + opts.watch + 4,
+		MaxIdleConnsPerHost: opts.conns + opts.watch + 4,
+	}}
+	var cnt counters
+
+	// Readers and watchers run for the duration of the producer phase.
+	ctx, stopReads := context.WithCancel(context.Background())
+	var readWG sync.WaitGroup
+	if opts.readQPS > 0 {
+		readWG.Add(1)
+		go func() { defer readWG.Done(); runReads(ctx, opts, httpc, &cnt) }()
+	}
+	for i := 0; i < opts.watch; i++ {
+		readWG.Add(1)
+		go func() { defer readWG.Done(); runWatch(ctx, opts, httpc, &cnt) }()
+	}
+
+	// Producer phase: parse → pace → fan out over connections.
+	batches := make(chan graph.Batch, opts.conns*2)
+	var prodWG sync.WaitGroup
+	for i := 0; i < opts.conns; i++ {
+		prodWG.Add(1)
+		go func() {
+			defer prodWG.Done()
+			var err error
+			if opts.mode == "binary" {
+				err = binaryProducer(opts, batches, &cnt)
+			} else {
+				err = jsonProducer(opts, httpc, batches, &cnt)
+			}
+			if err != nil {
+				cnt.hardError(err)
+				// Drain our share so the dispatcher never blocks forever.
+				for range batches {
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	parseErr := dispatch(in, opts, batches, &cnt)
+	close(batches)
+	prodWG.Wait()
+	elapsed := time.Since(start)
+	stopReads()
+	readWG.Wait()
+	if parseErr != nil {
+		return fmt.Errorf("reading %s: %w", opts.in, parseErr)
+	}
+
+	// Let the daemon absorb what it admitted before declaring a rate.
+	drainStart := time.Now()
+	drained := waitDrain(opts, httpc, &cnt)
+
+	rep := Report{
+		Mode:              opts.mode,
+		Offered:           cnt.offered.Load(),
+		Accepted:          cnt.accepted.Load(),
+		BackpressureWaits: cnt.backpressure.Load(),
+		Errors:            cnt.errors.Load(),
+		ElapsedSeconds:    elapsed.Seconds(),
+		MutationsPerSec:   float64(cnt.accepted.Load()) / elapsed.Seconds(),
+		Reads:             cnt.reads.Load(),
+		ReadErrors:        cnt.readErrors.Load(),
+		ReadP50Millis:     cnt.lat.quantile(0.50),
+		ReadP99Millis:     cnt.lat.quantile(0.99),
+		WatchStreams:      opts.watch,
+		WatchEvents:       cnt.watchEvents.Load(),
+		DrainSeconds:      time.Since(drainStart).Seconds(),
+		Drained:           drained,
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !opts.quiet {
+		fmt.Fprintf(os.Stderr,
+			"loadgen: %s plane: %d/%d mutations accepted in %.2fs = %.0f mut/s (%d backpressure waits); %d reads p50=%.2fms p99=%.2fms; %d watch events; drained=%v\n",
+			rep.Mode, rep.Accepted, rep.Offered, rep.ElapsedSeconds, rep.MutationsPerSec,
+			rep.BackpressureWaits, rep.Reads, rep.ReadP50Millis, rep.ReadP99Millis,
+			rep.WatchEvents, rep.Drained)
+	}
+	if rep.Errors > 0 || rep.ReadErrors > 0 {
+		msg, _ := cnt.firstErr.Load().(string)
+		return fmt.Errorf("%d mutation errors, %d read errors (first: %s)", rep.Errors, rep.ReadErrors, msg)
+	}
+	if !drained {
+		return fmt.Errorf("ingest queue still not empty after %s", opts.drainWait)
+	}
+	return nil
+}
+
+// dispatch parses the edge list into batches and feeds the producer
+// channel at the -qps schedule. "u v" lines become add-edge mutations,
+// single-field lines add-vertex (matching WriteEdgeList's round-trip
+// form); '#' comments and blank lines are skipped.
+func dispatch(in io.Reader, opts *options, batches chan<- graph.Batch, cnt *counters) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var (
+		cur      graph.Batch
+		sent     uint64
+		start    = time.Now()
+		perBatch time.Duration
+		nextSend time.Time
+	)
+	if opts.qps > 0 {
+		perBatch = time.Duration(float64(opts.batch) / opts.qps * float64(time.Second))
+		nextSend = start
+	}
+	localMax := int64(-1) // pushed to the shared max once per batch, not per line
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		if opts.qps > 0 {
+			if d := time.Until(nextSend); d > 0 {
+				time.Sleep(d)
+			}
+			nextSend = nextSend.Add(perBatch)
+		}
+		for {
+			old := cnt.maxVertex.Load()
+			if localMax <= old || cnt.maxVertex.CompareAndSwap(old, localMax) {
+				break
+			}
+		}
+		cnt.offered.Add(uint64(len(cur)))
+		batches <- cur
+		cur = nil
+	}
+	for sc.Scan() {
+		mu, skip, err := parseLine(sc.Bytes())
+		if err != nil {
+			return err
+		}
+		if skip {
+			continue
+		}
+		if int64(mu.U) > localMax {
+			localMax = int64(mu.U)
+		}
+		if mu.Kind == graph.MutAddEdge && int64(mu.V) > localMax {
+			localMax = int64(mu.V)
+		}
+		cur = append(cur, mu)
+		sent++
+		if len(cur) >= opts.batch {
+			flush()
+		}
+		if opts.limit > 0 && sent >= opts.limit {
+			break
+		}
+	}
+	flush()
+	return sc.Err()
+}
+
+// parseLine converts one edge-list line to a mutation without
+// allocating: "u v" → add-edge, "u" → add-vertex, blank/comment → skip.
+// At full binary-plane rates the replayer pushes millions of lines a
+// second through here, so this hand parse (instead of Fields+ParseInt
+// on a copied string) is what keeps loadgen from being the bottleneck
+// it is supposed to find in the daemon.
+func parseLine(line []byte) (mu graph.Mutation, skip bool, err error) {
+	i, n := 0, len(line)
+	for i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	if i == n || line[i] == '#' {
+		return mu, true, nil
+	}
+	u, i, err := parseID(line, i)
+	if err != nil {
+		return mu, false, err
+	}
+	for i < n && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	if i == n || line[i] == '\r' {
+		return graph.Mutation{Kind: graph.MutAddVertex, U: u}, false, nil
+	}
+	v, i, err := parseID(line, i)
+	if err != nil {
+		return mu, false, err
+	}
+	for i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	if i != n {
+		return mu, false, fmt.Errorf("trailing garbage on line %q", line)
+	}
+	return graph.Mutation{Kind: graph.MutAddEdge, U: u, V: v}, false, nil
+}
+
+// parseID reads one decimal vertex ID at line[i:], enforcing the same
+// bounds as the daemon's parsers.
+func parseID(line []byte, i int) (graph.VertexID, int, error) {
+	start := i
+	var id int64
+	for ; i < len(line) && line[i] >= '0' && line[i] <= '9'; i++ {
+		id = id*10 + int64(line[i]-'0')
+		if id > graph.MaxReadVertexID {
+			return 0, i, fmt.Errorf("vertex id %s exceeds the supported maximum %d", line[start:], int64(graph.MaxReadVertexID))
+		}
+	}
+	if i == start {
+		return 0, i, fmt.Errorf("bad vertex id in line %q", line)
+	}
+	return graph.VertexID(id), i, nil
+}
+
+// jsonProducer posts batches to /v1/mutations, pausing on 429
+// Retry-After instead of failing.
+func jsonProducer(opts *options, httpc *http.Client, batches <-chan graph.Batch, cnt *counters) error {
+	url := opts.target + "/v1/mutations"
+	var body bytes.Buffer
+	for b := range batches {
+		body.Reset()
+		body.WriteString(`{"mutations":[`)
+		for i, mu := range b {
+			if i > 0 {
+				body.WriteByte(',')
+			}
+			fmt.Fprintf(&body, `{"op":%q,"u":%d,"v":%d}`, mu.Kind.String(), mu.U, mu.V)
+		}
+		body.WriteString(`]}`)
+		payload := body.Bytes()
+		for {
+			resp, err := httpc.Post(url, "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				cnt.accepted.Add(uint64(len(b)))
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				cnt.backpressure.Add(1)
+				time.Sleep(retryAfter(resp))
+				continue
+			}
+			return fmt.Errorf("POST /v1/mutations: status %d", resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// retryAfter reads a 429's Retry-After seconds, with a sane fallback.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
+}
+
+// binaryProducer streams batch frames over one persistent connection,
+// honouring backpressure NAKs. Up to pipelineWindow frames ride the
+// connection unacknowledged — stop-and-wait would idle the link for a
+// full round trip per frame. Replies come back in order, so the
+// in-flight queue is FIFO; a backpressure NAK retransmits its frame
+// after the hinted pause (it rejoins the back of the line).
+const pipelineWindow = 4
+
+func binaryProducer(opts *options, batches <-chan graph.Batch, cnt *counters) error {
+	conn, err := net.Dial("tcp", opts.binaryTarget)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	br := bufio.NewReaderSize(conn, 4<<10)
+
+	var inflight [][]byte // sent, not yet acknowledged; oldest first
+	var send func(frame []byte) error
+	reapOne := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		f, err := graph.ReadFrame(br)
+		if err != nil {
+			return fmt.Errorf("read reply: %w", err)
+		}
+		frame := inflight[0]
+		inflight = inflight[1:]
+		switch {
+		case f.Type == graph.FrameAck:
+			cnt.accepted.Add(uint64(f.Ack.Accepted))
+			return nil
+		case f.Type == graph.FrameNak && f.Nak.Code == graph.NakBackpressure:
+			cnt.backpressure.Add(1)
+			time.Sleep(time.Duration(f.Nak.RetryAfterMillis) * time.Millisecond)
+			return send(frame)
+		default:
+			return fmt.Errorf("server rejected frame: %+v", f.Nak)
+		}
+	}
+	send = func(frame []byte) error {
+		for len(inflight) >= pipelineWindow {
+			if err := reapOne(); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		inflight = append(inflight, frame)
+		return nil
+	}
+	for b := range batches {
+		frame, err := graph.AppendBatchFrame(nil, b)
+		if err != nil {
+			return err
+		}
+		if err := send(frame); err != nil {
+			return err
+		}
+	}
+	for len(inflight) > 0 {
+		if err := reapOne(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// runReads issues placement lookups at -read-qps until ctx is
+// cancelled, recording latencies. Single mode hits
+// GET /v1/placement/{v}; batch mode posts -read-batch random vertices
+// to /v1/placements. 404 (vertex not yet admitted or already removed)
+// is a valid answer, not an error.
+func runReads(ctx context.Context, opts *options, httpc *http.Client, cnt *counters) {
+	rng := rand.New(rand.NewSource(1))
+	interval := time.Duration(float64(time.Second) / opts.readQPS * float64(max(1, opts.readBatch)))
+	tick := time.NewTicker(maxDur(interval, 50*time.Microsecond))
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		hi := cnt.maxVertex.Load()
+		if hi < 0 {
+			continue // nothing offered yet
+		}
+		start := time.Now()
+		var (
+			resp *http.Response
+			err  error
+		)
+		if opts.readBatch <= 1 {
+			resp, err = httpc.Get(fmt.Sprintf("%s/v1/placement/%d", opts.target, rng.Int63n(hi+1)))
+		} else {
+			var body bytes.Buffer
+			body.WriteString(`{"vertices":[`)
+			for i := 0; i < opts.readBatch; i++ {
+				if i > 0 {
+					body.WriteByte(',')
+				}
+				fmt.Fprintf(&body, "%d", rng.Int63n(hi+1))
+			}
+			body.WriteString(`]}`)
+			resp, err = httpc.Post(opts.target+"/v1/placements", "application/json", &body)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			cnt.readErrors.Add(1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+			cnt.readErrors.Add(1)
+			continue
+		}
+		cnt.lat.record(time.Since(start))
+		cnt.reads.Add(uint64(max(1, opts.readBatch)))
+	}
+}
+
+// runWatch holds one watch stream open, counting NDJSON events, until
+// ctx is cancelled.
+func runWatch(ctx context.Context, opts *options, httpc *http.Client, cnt *counters) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, opts.target+"/v1/watch", nil)
+	if err != nil {
+		cnt.readErrors.Add(1)
+		return
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			cnt.readErrors.Add(1)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cnt.readErrors.Add(1)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			cnt.watchEvents.Add(1)
+		}
+	}
+	// A scan error after cancel is the expected teardown path.
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		cnt.readErrors.Add(1)
+	}
+}
+
+// waitDrain polls /v1/stats until mutations_pending reaches zero.
+func waitDrain(opts *options, httpc *http.Client, cnt *counters) bool {
+	deadline := time.Now().Add(opts.drainWait)
+	for {
+		var st struct {
+			Pending int `json:"mutations_pending"`
+		}
+		resp, err := httpc.Get(opts.target + "/v1/stats")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if err == nil && st.Pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// latencyHist is a fixed-size geometric histogram (4 buckets per
+// octave, ~19% relative error) over microsecond latencies — enough
+// resolution for a p99 without unbounded memory.
+type latencyHist struct {
+	mu     sync.Mutex
+	counts [128]uint64
+	total  uint64
+}
+
+// bucketOf maps a latency to its bucket: index = 4*floor(log2 µs) +
+// top-two mantissa bits.
+func bucketOf(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us < 1 {
+		us = 1
+	}
+	exp := bits.Len64(us) - 1
+	var frac uint64
+	if exp >= 2 {
+		frac = (us >> (exp - 2)) & 3
+	}
+	idx := exp*4 + int(frac)
+	if idx >= len(latencyHist{}.counts) {
+		idx = len(latencyHist{}.counts) - 1
+	}
+	return idx
+}
+
+// upperMillis returns a bucket's upper bound in milliseconds.
+func upperMillis(idx int) float64 {
+	exp, frac := idx/4, idx%4
+	us := float64(uint64(1)<<exp) * (1 + float64(frac+1)/4)
+	return us / 1000
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	i := bucketOf(d)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.mu.Unlock()
+}
+
+// quantile returns the q-quantile's bucket upper bound in ms (0 when
+// nothing was recorded).
+func (h *latencyHist) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.total))
+	if want >= h.total {
+		want = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > want {
+			return upperMillis(i)
+		}
+	}
+	return upperMillis(len(h.counts) - 1)
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

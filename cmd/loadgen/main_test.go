@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xdgp/internal/graph"
+	"xdgp/internal/server"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "carrier-pigeon"},
+		{"-mode", "binary"}, // missing -binary-target
+		{"-batch", "0"},
+		{"-conns", "0"},
+		{"extra-arg"},
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+	o, err := parseFlags([]string{"-mode", "binary", "-binary-target", "127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.mode != "binary" || o.batch != 1024 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestDispatchParsesEdgeList(t *testing.T) {
+	in := strings.NewReader("# comment\n0 1\n1 2\n\n7\n2 0\n")
+	opts := &options{batch: 2, conns: 1}
+	var cnt counters
+	cnt.maxVertex.Store(-1)
+	batches := make(chan graph.Batch, 8)
+	if err := dispatch(in, opts, batches, &cnt); err != nil {
+		t.Fatal(err)
+	}
+	close(batches)
+	var all graph.Batch
+	for b := range batches {
+		if len(b) > opts.batch {
+			t.Fatalf("batch of %d exceeds -batch %d", len(b), opts.batch)
+		}
+		all = append(all, b...)
+	}
+	want := graph.Batch{
+		{Kind: graph.MutAddEdge, U: 0, V: 1},
+		{Kind: graph.MutAddEdge, U: 1, V: 2},
+		{Kind: graph.MutAddVertex, U: 7},
+		{Kind: graph.MutAddEdge, U: 2, V: 0},
+	}
+	if len(all) != len(want) {
+		t.Fatalf("got %d mutations, want %d", len(all), len(want))
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("mutation %d = %+v, want %+v", i, all[i], want[i])
+		}
+	}
+	if got := cnt.offered.Load(); got != 4 {
+		t.Fatalf("offered %d, want 4", got)
+	}
+	if got := cnt.maxVertex.Load(); got != 7 {
+		t.Fatalf("maxVertex %d, want 7", got)
+	}
+}
+
+func TestDispatchRejectsBadIDs(t *testing.T) {
+	for _, input := range []string{"-1 2\n", "0 999999999999\n", "zebra 1\n"} {
+		opts := &options{batch: 10, conns: 1}
+		var cnt counters
+		batches := make(chan graph.Batch, 8)
+		if err := dispatch(strings.NewReader(input), opts, batches, &cnt); err == nil {
+			t.Errorf("dispatch accepted %q", input)
+		}
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if got := h.quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %v", got)
+	}
+	// 99 fast reads and 1 slow one: p50 ≈ 1ms, p99 ≥ 80ms.
+	for i := 0; i < 99; i++ {
+		h.record(time.Millisecond)
+	}
+	h.record(100 * time.Millisecond)
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 < 0.5 || p50 > 2 {
+		t.Fatalf("p50 = %vms, want ≈1ms", p50)
+	}
+	if p99 < 80 || p99 > 200 {
+		t.Fatalf("p99 = %vms, want ≈100ms", p99)
+	}
+	if p99 <= p50 {
+		t.Fatalf("p99 %v ≤ p50 %v", p99, p50)
+	}
+}
+
+// liveServer starts a ticking in-process daemon with both planes for
+// end-to-end loadgen runs.
+func liveServer(t *testing.T) (httpURL, binAddr string) {
+	t.Helper()
+	cfg := server.DefaultConfig(4, 7)
+	cfg.TickEvery = 5 * time.Millisecond
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeBinary(ln) //nolint:errcheck // exits on close
+	t.Cleanup(func() { ln.Close() })
+	return ts.URL, ln.Addr().String()
+}
+
+func TestEndToEndBothPlanes(t *testing.T) {
+	httpURL, binAddr := liveServer(t)
+	edges := writeRingEdges(t, 500)
+
+	for _, mode := range []string{"json", "binary"} {
+		args := []string{
+			"-mode", mode,
+			"-target", httpURL,
+			"-in", edges,
+			"-batch", "64",
+			"-conns", "2",
+			"-qps", "2000", // stretch the run so the read mix gets ticks
+			"-read-qps", "500",
+			"-watch", "1",
+			"-drain-wait", "30s",
+			"-quiet",
+		}
+		if mode == "binary" {
+			args = append(args, "-binary-target", binAddr)
+		}
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s run: %v\n%s", mode, err, out.String())
+		}
+		var rep Report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("%s report: %v\n%s", mode, err, out.String())
+		}
+		if rep.Mode != mode || rep.Offered != 500 || rep.Accepted != 500 {
+			t.Fatalf("%s report %+v, want 500/500", mode, rep)
+		}
+		if rep.Errors != 0 || rep.ReadErrors != 0 {
+			t.Fatalf("%s report has errors: %+v", mode, rep)
+		}
+		if !rep.Drained {
+			t.Fatalf("%s run did not drain", mode)
+		}
+		if rep.Reads == 0 {
+			t.Fatalf("%s run recorded no reads", mode)
+		}
+	}
+}
+
+// writeRingEdges writes an n-vertex ring edge list to a temp file, in
+// the commented SNAP-ish form gengraph emits.
+func writeRingEdges(t *testing.T, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# vertices %d edges %d directed false\n", n, n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "%d %d\n", i, (i+1)%n)
+	}
+	path := filepath.Join(t.TempDir(), "ring.edges")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkDispatch measures the replayer's parse-and-batch rate with
+// producers that discard instantly — the ceiling loadgen can offer a
+// daemon.
+func BenchmarkDispatch(b *testing.B) {
+	var buf bytes.Buffer
+	const lines = 200_000
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&buf, "%d %d\n", i, i+1)
+	}
+	input := buf.Bytes()
+	opts := &options{batch: 8192, conns: 1}
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cnt counters
+		batches := make(chan graph.Batch, 4)
+		done := make(chan struct{})
+		go func() {
+			for range batches {
+			}
+			close(done)
+		}()
+		if err := dispatch(bytes.NewReader(input), opts, batches, &cnt); err != nil {
+			b.Fatal(err)
+		}
+		close(batches)
+		<-done
+		if cnt.offered.Load() != lines {
+			b.Fatalf("offered %d", cnt.offered.Load())
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func wireBatch() Batch {
+	return Batch{
+		{Kind: MutAddVertex, U: 0},
+		{Kind: MutAddEdge, U: 1, V: 2},
+		{Kind: MutAddEdge, U: 2, V: MaxReadVertexID},
+		{Kind: MutRemoveEdge, U: 1, V: 2},
+		{Kind: MutRemoveVertex, U: 0},
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	for _, b := range []Batch{nil, wireBatch()} {
+		var buf bytes.Buffer
+		if err := WriteBatchFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameBatch {
+			t.Fatalf("type %v, want batch", f.Type)
+		}
+		if len(b) == 0 {
+			if len(f.Batch) != 0 {
+				t.Fatalf("empty batch decoded to %d mutations", len(f.Batch))
+			}
+		} else if !reflect.DeepEqual(f.Batch, b) {
+			t.Fatalf("round trip mismatch:\n got %v\nwant %v", f.Batch, b)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d trailing bytes after one frame", buf.Len())
+		}
+	}
+}
+
+// TestWireVertexOpDropsV pins the canonical-encoding rule: vertex ops
+// carry v=0 on the wire regardless of what the in-memory mutation held,
+// so equal streams encode to equal bytes.
+func TestWireVertexOpDropsV(t *testing.T) {
+	a, err := AppendBatchFrame(nil, Batch{{Kind: MutAddVertex, U: 3, V: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AppendBatchFrame(nil, Batch{{Kind: MutAddVertex, U: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("vertex-op v leaked into the encoding")
+	}
+	f, err := ReadFrame(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Batch[0].V != 0 {
+		t.Fatalf("decoded v = %d, want 0", f.Batch[0].V)
+	}
+}
+
+func TestWireAckNakRoundTrip(t *testing.T) {
+	buf := AppendAckFrame(nil, Ack{Accepted: 7, Queued: 4242})
+	buf = AppendNakFrame(buf, Nak{Code: NakBackpressure, RetryAfterMillis: 250})
+	buf = AppendNakFrame(buf, Nak{Code: NakMalformed})
+	r := bytes.NewReader(buf)
+	f, err := ReadFrame(r)
+	if err != nil || f.Type != FrameAck || f.Ack != (Ack{Accepted: 7, Queued: 4242}) {
+		t.Fatalf("ack round trip: %+v, %v", f, err)
+	}
+	f, err = ReadFrame(r)
+	if err != nil || f.Type != FrameNak || f.Nak != (Nak{Code: NakBackpressure, RetryAfterMillis: 250}) {
+		t.Fatalf("nak round trip: %+v, %v", f, err)
+	}
+	f, err = ReadFrame(r)
+	if err != nil || f.Type != FrameNak || f.Nak != (Nak{Code: NakMalformed}) {
+		t.Fatalf("malformed-nak round trip: %+v, %v", f, err)
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestWireEncodeRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Batch
+	}{
+		{"zero kind", Batch{{Kind: 0, U: 1}}},
+		{"unknown kind", Batch{{Kind: 9, U: 1}}},
+		{"negative u", Batch{{Kind: MutAddVertex, U: -2}}},
+		{"huge u", Batch{{Kind: MutAddVertex, U: MaxReadVertexID + 1}}},
+		{"huge v", Batch{{Kind: MutAddEdge, U: 0, V: MaxReadVertexID + 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := AppendBatchFrame(nil, tc.b); err == nil {
+			t.Errorf("%s: encode accepted invalid batch", tc.name)
+		}
+	}
+}
+
+// TestWireDecodeMalformed is the malformed/truncated-frame table test:
+// every hostile prefix or mutated frame must yield a clean error (or a
+// clean io.EOF only on an empty stream), never a panic or a bogus batch.
+func TestWireDecodeMalformed(t *testing.T) {
+	good, err := AppendBatchFrame(nil, wireBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	frame := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantEOF bool // clean io.EOF (empty stream), not ErrUnexpectedEOF
+	}{
+		{"empty", nil, true},
+		{"version only", []byte{WireVersion}, false},
+		{"bad version", []byte{0x00, byte(FrameBatch), 0, 0, 0, 0}, false},
+		{"future version", []byte{99, byte(FrameBatch), 0, 0, 0, 0}, false},
+		{"unknown type", frame([]byte{WireVersion, 0x7f}, u32(0)), false},
+		{"truncated header", good[:3], false},
+		{"truncated count", good[:7], false},
+		{"truncated mid-mutation", good[:len(good)-5], false},
+		{"payload under count", frame([]byte{WireVersion, byte(FrameBatch)}, u32(4), u32(2)), false},
+		{"payload over count", frame([]byte{WireVersion, byte(FrameBatch)}, u32(14), u32(0), make([]byte, 10)), false},
+		{"payload lacks count", frame([]byte{WireVersion, byte(FrameBatch)}, u32(2), []byte{0, 0}), false},
+		{"oversized payload claim", frame([]byte{WireVersion, byte(FrameBatch)}, u32(1<<31)), false},
+		{"count over maximum", frame([]byte{WireVersion, byte(FrameBatch)}, u32(4+9*(MaxWireBatch+1)), u32(MaxWireBatch+1)), false},
+		{"bad mutation kind", frame([]byte{WireVersion, byte(FrameBatch)}, u32(13), u32(1), []byte{0}, u32(1), u32(0)), false},
+		{"negative vertex", frame([]byte{WireVersion, byte(FrameBatch)}, u32(13), u32(1), []byte{byte(MutAddVertex)}, u32(1<<31), u32(0)), false},
+		{"vertex above max", frame([]byte{WireVersion, byte(FrameBatch)}, u32(13), u32(1), []byte{byte(MutAddVertex)}, u32(MaxReadVertexID+1), u32(0)), false},
+		{"vertex op with v", frame([]byte{WireVersion, byte(FrameBatch)}, u32(13), u32(1), []byte{byte(MutAddVertex)}, u32(1), u32(5)), false},
+		{"ack payload wrong size", frame([]byte{WireVersion, byte(FrameAck)}, u32(5), make([]byte, 5)), false},
+		{"nak payload wrong size", frame([]byte{WireVersion, byte(FrameNak)}, u32(8), make([]byte, 8)), false},
+		{"nak unknown code", frame([]byte{WireVersion, byte(FrameNak)}, u32(5), []byte{9}, u32(0)), false},
+		{"ack truncated", AppendAckFrame(nil, Ack{1, 2})[:9], false},
+	}
+	for _, tc := range cases {
+		_, err := ReadFrame(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: decode accepted malformed frame", tc.name)
+			continue
+		}
+		if tc.wantEOF != (err == io.EOF) {
+			t.Errorf("%s: error %v (wantEOF=%v)", tc.name, err, tc.wantEOF)
+		}
+		if !tc.wantEOF && err == io.EOF {
+			t.Errorf("%s: mid-frame truncation reported as clean EOF", tc.name)
+		}
+	}
+
+	// Every truncation point of a good frame must be ErrUnexpectedEOF or a
+	// format error — never clean EOF, never success.
+	for i := 1; i < len(good); i++ {
+		_, err := ReadFrame(bytes.NewReader(good[:i]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", i, len(good))
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation at %d/%d reported clean EOF", i, len(good))
+		}
+	}
+}
+
+// FuzzReadFrame mirrors FuzzDecodeGraph for the wire protocol: arbitrary
+// bytes must decode to a valid frame that re-encodes byte-identically to
+// its own consumed prefix, or fail cleanly — never panic, never allocate
+// unboundedly.
+func FuzzReadFrame(f *testing.F) {
+	seed, err := AppendBatchFrame(nil, wireBatch())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	empty, _ := AppendBatchFrame(nil, nil)
+	f.Add(empty)
+	f.Add(AppendAckFrame(nil, Ack{Accepted: 3, Queued: 9}))
+	f.Add(AppendNakFrame(nil, Nak{Code: NakBackpressure, RetryAfterMillis: 100}))
+	f.Add([]byte{WireVersion, byte(FrameBatch), 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out []byte
+		switch fr.Type {
+		case FrameBatch:
+			out, err = AppendBatchFrame(nil, fr.Batch)
+			if err != nil {
+				t.Fatalf("decoded batch failed to re-encode: %v", err)
+			}
+		case FrameAck:
+			out = AppendAckFrame(nil, fr.Ack)
+		case FrameNak:
+			out = AppendNakFrame(nil, fr.Nak)
+		default:
+			t.Fatalf("decoder returned unknown frame type %v", fr.Type)
+		}
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("re-encode is not the consumed prefix:\n got %x\nwant %x", out, data[:len(out)])
+		}
+		// The re-encoded frame must decode to the same value (fixed point).
+		fr2, err := ReadFrame(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("codec is not a fixed point: %+v vs %+v", fr, fr2)
+		}
+	})
+}

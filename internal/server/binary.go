@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"time"
+
+	"xdgp/internal/graph"
+)
+
+// This file is the binary ingest plane: a persistent-connection listener
+// speaking the length-prefixed mutation frame protocol of
+// internal/graph's wire codec (docs/API.md, "Binary ingest plane"). One
+// connection = one producer stream: every batch frame is answered in
+// order with an ACK (accepted count + total queued) or a backpressure
+// NAK carrying a retry hint, and the connection sticks to one ingest
+// shard so the producer's own mutation order survives the sharded tick
+// drain. Protocol errors get a best-effort malformed NAK and the
+// connection is closed — a desynced framing stream cannot be trusted to
+// re-align. The JSON plane stays the simple/debuggable surface; this one
+// exists to move millions of mutations per second without JSON decode
+// dominating the daemon's CPU.
+
+// DefaultBinaryIdleTimeout is the per-connection read deadline of the
+// binary plane when Config.BinaryIdleTimeout is zero: a producer silent
+// for this long is disconnected (it can simply redial), so dead peers
+// cannot pin connection goroutines forever.
+const DefaultBinaryIdleTimeout = 5 * time.Minute
+
+// binaryWriteTimeout bounds each ACK/NAK write. Replies are ≤10 bytes;
+// a producer that cannot take one within this window is gone.
+const binaryWriteTimeout = 10 * time.Second
+
+// ServeBinary accepts binary-plane connections on l until the listener
+// is closed (returning nil) or fails (returning the error). Each
+// connection gets its own goroutine and ingest shard. Call CloseBinary
+// — or Stop, which includes it — to disconnect the accepted
+// connections; closing the listener only stops new ones.
+func (s *Server) ServeBinary(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveBinaryConn(conn)
+	}
+}
+
+// CloseBinary force-closes every live binary-plane connection. New
+// connections are governed by the listener, which the caller owns.
+func (s *Server) CloseBinary() {
+	s.binMu.Lock()
+	conns := make([]net.Conn, 0, len(s.binConns))
+	for c := range s.binConns {
+		conns = append(conns, c)
+	}
+	s.binMu.Unlock()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck // teardown
+	}
+}
+
+func (s *Server) trackBinaryConn(c net.Conn, add bool) {
+	s.binMu.Lock()
+	defer s.binMu.Unlock()
+	if add {
+		if s.binConns == nil {
+			s.binConns = make(map[net.Conn]struct{})
+		}
+		s.binConns[c] = struct{}{}
+		s.binaryConns.Add(1)
+	} else {
+		delete(s.binConns, c)
+		s.binaryConns.Add(-1)
+	}
+}
+
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	defer conn.Close()
+	s.trackBinaryConn(conn, true)
+	defer s.trackBinaryConn(conn, false)
+
+	idle := s.cfg.BinaryIdleTimeout
+	if idle == 0 {
+		idle = DefaultBinaryIdleTimeout
+	}
+	// The connection's lifetime shard: frames from this producer drain in
+	// the order they were acknowledged.
+	shard := s.enqueueRR.Add(1) - 1
+	br := bufio.NewReaderSize(conn, 1<<16)
+	reply := make([]byte, 0, 16)
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck // net.Conn deadlines
+		}
+		f, err := graph.ReadFrame(br)
+		if err != nil {
+			// Clean close between frames needs no reply; a protocol error
+			// gets a best-effort malformed NAK so the producer can tell
+			// "server rejected my framing" from a network failure.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.writeBinaryReply(conn, graph.AppendNakFrame(reply[:0], graph.Nak{Code: graph.NakMalformed}))
+			}
+			return
+		}
+		if f.Type != graph.FrameBatch {
+			s.writeBinaryReply(conn, graph.AppendNakFrame(reply[:0], graph.Nak{Code: graph.NakMalformed}))
+			return
+		}
+		queued, ok := s.EnqueueShard(f.Batch, shard)
+		if !ok {
+			hint := s.RetryAfterHint()
+			reply = graph.AppendNakFrame(reply[:0], graph.Nak{
+				Code:             graph.NakBackpressure,
+				RetryAfterMillis: uint32(min(hint.Milliseconds(), math.MaxUint32)),
+			})
+		} else {
+			s.binaryFrames.Add(1)
+			reply = graph.AppendAckFrame(reply[:0], graph.Ack{
+				Accepted: uint32(len(f.Batch)),
+				Queued:   uint32(min(int64(queued), math.MaxUint32)),
+			})
+		}
+		if !s.writeBinaryReply(conn, reply) {
+			return
+		}
+	}
+}
+
+// writeBinaryReply writes one ACK/NAK under a write deadline; false
+// means the connection is unusable and the handler should exit.
+func (s *Server) writeBinaryReply(conn net.Conn, frame []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(binaryWriteTimeout)) //nolint:errcheck // net.Conn deadlines
+	_, err := conn.Write(frame)
+	return err == nil
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xdgp/internal/graph"
+	"xdgp/internal/snapshot"
+)
+
+// startBinary serves the binary ingest plane on an ephemeral port and
+// returns its address.
+func startBinary(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeBinary(ln) //nolint:errcheck // exits on listener close
+	t.Cleanup(func() {
+		ln.Close()
+		s.CloseBinary()
+	})
+	return ln.Addr().String()
+}
+
+// binaryClient is a minimal synchronous producer: write one batch frame,
+// read the reply frame.
+type binaryClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialBinary(t *testing.T, addr string) *binaryClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &binaryClient{conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (c *binaryClient) send(t *testing.T, b graph.Batch) graph.Frame {
+	t.Helper()
+	if err := graph.WriteBatchFrame(c.conn, b); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	f, err := graph.ReadFrame(c.br)
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	return f
+}
+
+func TestBinaryIngestEndToEnd(t *testing.T) {
+	s := testServer(t, nil)
+	addr := startBinary(t, s)
+	c := dialBinary(t, addr)
+
+	// Two frames on one persistent connection; per-frame ACKs carry the
+	// cumulative queue depth.
+	f := c.send(t, ringBatch(40))
+	if f.Type != graph.FrameAck || f.Ack.Accepted != 40 || f.Ack.Queued != 40 {
+		t.Fatalf("first ack %+v", f)
+	}
+	f = c.send(t, graph.Batch{{Kind: graph.MutAddEdge, U: 0, V: 20}})
+	if f.Type != graph.FrameAck || f.Ack.Accepted != 1 || f.Ack.Queued != 41 {
+		t.Fatalf("second ack %+v", f)
+	}
+
+	res := s.TickNow()
+	if res.BatchSize != 41 || res.Applied == 0 {
+		t.Fatalf("tick %+v, want 41 coalesced", res)
+	}
+	if _, ok := s.Placement(0); !ok {
+		t.Fatal("vertex 0 not placed after binary ingest + tick")
+	}
+	st := s.Stats()
+	if st.Ingested != 41 || st.Vertices != 40 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := s.binaryFrames.Load(); got != 2 {
+		t.Fatalf("binaryFrames = %d, want 2", got)
+	}
+}
+
+func TestBinaryMalformedFrameNaksAndCloses(t *testing.T) {
+	s := testServer(t, nil)
+	addr := startBinary(t, s)
+	c := dialBinary(t, addr)
+
+	if _, err := c.conn.Write([]byte{0x77, 0x01, 0, 0, 0, 0}); err != nil { // bad version
+		t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	f, err := graph.ReadFrame(c.br)
+	if err != nil {
+		t.Fatalf("expected a malformed NAK, got read error %v", err)
+	}
+	if f.Type != graph.FrameNak || f.Nak.Code != graph.NakMalformed {
+		t.Fatalf("reply %+v, want malformed NAK", f)
+	}
+	// The server closes the connection after a protocol error.
+	if _, err := graph.ReadFrame(c.br); err == nil {
+		t.Fatal("connection still open after malformed frame")
+	}
+	if n, _ := s.PendingMutations(); n != 0 {
+		t.Fatalf("%d mutations leaked from a malformed frame", n)
+	}
+}
+
+// TestBinaryBackpressureNak pins the bounded-queue contract on the
+// binary plane: a producer outrunning the tick drain gets a retryable
+// NAK with a retry hint, nothing is enqueued past the cap, and the
+// same batch succeeds once the queue drains.
+func TestBinaryBackpressureNak(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.MaxPending = 100 })
+	addr := startBinary(t, s)
+	c := dialBinary(t, addr)
+
+	if f := c.send(t, ringBatch(80)); f.Type != graph.FrameAck {
+		t.Fatalf("first frame %+v, want ack", f)
+	}
+	f := c.send(t, ringBatch(40)) // 80+40 > 100
+	if f.Type != graph.FrameNak || f.Nak.Code != graph.NakBackpressure {
+		t.Fatalf("overload reply %+v, want backpressure NAK", f)
+	}
+	if f.Nak.RetryAfterMillis == 0 {
+		t.Fatal("backpressure NAK carries no retry hint")
+	}
+	if n, _ := s.PendingMutations(); n != 80 {
+		t.Fatalf("queue holds %d mutations, want 80 (NAKed batch must not enqueue)", n)
+	}
+	if got := s.rejected.Load(); got != 40 {
+		t.Fatalf("rejected counter %d, want 40", got)
+	}
+
+	s.TickNow() // drain
+	if f := c.send(t, ringBatch(40)); f.Type != graph.FrameAck || f.Ack.Queued != 40 {
+		t.Fatalf("post-drain retry %+v, want ack with 40 queued", f)
+	}
+}
+
+// TestJSONBinaryEquivalence feeds the identical mutation stream once
+// through the JSON plane and once through the binary plane, with the
+// same tick boundaries, and requires byte-identical checkpoints — the
+// two wire formats must be pure encodings of the same stream, with no
+// semantic drift between them.
+func TestJSONBinaryEquivalence(t *testing.T) {
+	stream := []graph.Batch{
+		ringBatch(60),
+		{
+			{Kind: graph.MutAddVertex, U: 100},
+			{Kind: graph.MutAddEdge, U: 100, V: 3},
+			{Kind: graph.MutRemoveEdge, U: 0, V: 1},
+		},
+		{
+			{Kind: graph.MutRemoveVertex, U: 7},
+			{Kind: graph.MutAddEdge, U: 8, V: 101},
+		},
+	}
+
+	capture := func(s *Server) []byte {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		snap, err := snapshot.Capture(s.part, s.coreCfg, snapshot.Meta{
+			Ticks:             s.ticks.Load(),
+			MutationsIngested: s.ingested.Load(),
+			MutationsApplied:  s.applied.Load(),
+			CreatedUnix:       42, // fixed: wall-clock must not break byte equality
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, snap); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// JSON plane.
+	js := testServer(t, nil)
+	ts := httptest.NewServer(js)
+	defer ts.Close()
+	for _, b := range stream {
+		req := IngestRequest{}
+		for _, mu := range b {
+			mj := MutationJSON{Op: mu.Kind.String(), U: int64(mu.U), V: int64(mu.V)}
+			req.Mutations = append(req.Mutations, mj)
+		}
+		resp, raw := postJSON(t, ts, "/v1/mutations", req)
+		if resp.StatusCode != 202 {
+			t.Fatalf("json ingest status %d: %s", resp.StatusCode, raw)
+		}
+		js.TickNow()
+	}
+
+	// Binary plane.
+	bs := testServer(t, nil)
+	c := dialBinary(t, startBinary(t, bs))
+	for _, b := range stream {
+		if f := c.send(t, b); f.Type != graph.FrameAck || int(f.Ack.Accepted) != len(b) {
+			t.Fatalf("binary ingest reply %+v", f)
+		}
+		bs.TickNow()
+	}
+
+	a, b := capture(js), capture(bs)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("checkpoints diverge between JSON and binary ingest (%d vs %d bytes)", len(a), len(b))
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -125,11 +126,30 @@ func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = append(batch, mu)
 	}
-	queued := s.Enqueue(batch)
+	// A client keeps talking to the same shard (keyed by remote address),
+	// so its own mutation order survives the sharded queue drain.
+	queued, ok := s.EnqueueShard(batch, shardKey(r.RemoteAddr))
+	if !ok {
+		hint := s.RetryAfterHint()
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(hint.Seconds()))))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("ingest queue full (%d mutations pending); retry after %s", queued, hint))
+		return
+	}
 	writeJSON(w, http.StatusAccepted, map[string]int{
 		"accepted": len(batch),
 		"queued":   queued,
 	})
+}
+
+// shardKey hashes a producer identity (FNV-1a) onto the ingest shards.
+func shardKey(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
 }
 
 func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {

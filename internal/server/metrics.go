@@ -23,7 +23,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 
-	counter("apartd_mutations_ingested_total", "Mutations accepted over HTTP.", s.ingested.Load())
+	counter("apartd_mutations_ingested_total", "Mutations accepted over HTTP or the binary plane.", s.ingested.Load())
+	counter("apartd_ingest_rejected_total", "Mutations refused by the MaxPending backpressure cap (HTTP 429 / binary NAK).", s.rejected.Load())
 	counter("apartd_mutations_applied_total", "Mutations that changed the graph.", s.applied.Load())
 	counter("apartd_ticks_total", "Coalescing ticks processed.", s.ticks.Load())
 	counter("apartd_iterations_total", "Heuristic iterations executed.", s.iterations.Load())
@@ -46,6 +47,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("apartd_watch_ring_retained", "Epoch diffs currently retained for watch resume.", float64(retained))
 	counter("apartd_watch_events_total", "Diff lines written across all watch streams.", s.watchEvents.Load())
 	counter("apartd_watch_resyncs_total", "Resync events sent to watchers that fell behind the diff ring.", s.watchResyncs.Load())
+	counter("apartd_watch_dropped_total", "Watch subscribers dropped on a write-deadline miss (dead or stalled consumer connection).", s.watchDropped.Load())
 	counter("apartd_watch_evicted_total", "Epoch diffs dropped off the retention ring (watch lag ceiling).", evicted)
 	counter("apartd_batch_requests_total", "POST /v1/placements requests served.", s.batchRequests.Load())
 	counter("apartd_batch_lookups_total", "Vertex lookups served by batch requests.", s.batchLookups.Load())
@@ -53,6 +55,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pending, age := s.PendingMutations()
 	gauge("apartd_ingest_pending", "Mutations waiting for the next tick.", float64(pending))
 	gauge("apartd_ingest_lag_seconds", "Age of the oldest pending mutation.", age.Seconds())
+	gauge("apartd_ingest_capacity", "MaxPending queue cap the backpressure NAK/429 path enforces.", float64(s.maxPending))
+	gauge("apartd_ingest_shards", "Independent ingest queues.", float64(len(s.shards)))
+	gauge("apartd_binary_conns", "Currently connected binary-plane ingest connections.", float64(s.binaryConns.Load()))
+	counter("apartd_binary_frames_total", "Batch frames accepted on the binary plane.", s.binaryFrames.Load())
 	gauge("apartd_last_batch_size", "Mutations coalesced into the most recent tick.", float64(s.lastBatch.Load()))
 	gauge("apartd_last_checkpoint_timestamp_seconds", "Unix time of the most recent checkpoint (0 when none).", float64(s.lastCkptUnx.Load()))
 

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"xdgp/internal/graph"
+)
+
+// TestIngestFloodStaysBounded is the overload regression test: producers
+// pushing 2× the queue capacity between drains must see HTTP 429 with a
+// Retry-After hint, the queue must never exceed MaxPending (bounded
+// memory), and admission must recover after a drain.
+func TestIngestFloodStaysBounded(t *testing.T) {
+	const cap = 500
+	s := testServer(t, func(c *Config) { c.MaxPending = cap })
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// 2× overload: 20 requests × 50 mutations = 1000 offered against a
+	// 500-mutation cap, no drains in between.
+	var accepted, rejected int
+	for i := 0; i < 20; i++ {
+		req := IngestRequest{}
+		base := i * 50
+		for j := 0; j < 50; j++ {
+			req.Mutations = append(req.Mutations, MutationJSON{
+				Op: "add-edge", U: int64(base + j), V: int64(base + j + 1),
+			})
+		}
+		resp, raw := postJSON(t, ts, "/v1/mutations", req)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted += 50
+		case http.StatusTooManyRequests:
+			rejected += 50
+			ra := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Fatalf("429 Retry-After %q, want integer seconds ≥ 1", ra)
+			}
+		default:
+			t.Fatalf("flood request %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		if n, _ := s.PendingMutations(); n > cap {
+			t.Fatalf("queue grew to %d mutations, cap is %d", n, cap)
+		}
+	}
+	if accepted != cap {
+		t.Fatalf("accepted %d mutations, want exactly the cap %d", accepted, cap)
+	}
+	if rejected != cap {
+		t.Fatalf("rejected %d mutations, want %d (the 2× excess)", rejected, cap)
+	}
+	if got := s.rejected.Load(); got != uint64(rejected) {
+		t.Fatalf("rejected counter %d, want %d", got, rejected)
+	}
+	if st := s.Stats(); st.Rejected != uint64(rejected) {
+		t.Fatalf("stats.Rejected = %d, want %d", st.Rejected, rejected)
+	}
+
+	// Drain; admission must recover.
+	if res := s.TickNow(); res.BatchSize != cap {
+		t.Fatalf("drain tick absorbed %d, want %d", res.BatchSize, cap)
+	}
+	resp, raw := postJSON(t, ts, "/v1/mutations", IngestRequest{
+		Mutations: []MutationJSON{{Op: "add-edge", U: 1, V: 2}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain ingest status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestWatchStalledConsumerDropped pins the slow-consumer guarantee: a
+// watch subscriber that stops reading (dead peer, wedged pipe) is
+// dropped once an event write misses the per-event deadline, instead of
+// pinning its handler goroutine and diff backlog forever.
+func TestWatchStalledConsumerDropped(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.WatchWriteTimeout = 200 * time.Millisecond
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A raw TCP client that sends the request and then never reads a
+	// byte: the response backs up through the server's write buffers into
+	// a full socket, and only the write deadline can unwedge the handler.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /v1/watch HTTP/1.1\r\nHost: apartd\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, "watcher to register", func() bool {
+		return s.watchers.Load() == 1
+	})
+
+	// Publish large diffs until the stalled connection's buffers fill and
+	// the deadline trips. Each tick adds 2000 fresh vertices ⇒ ≥2000
+	// placement changes ≈ 60 KiB of NDJSON per event.
+	for i := 0; i < 400 && s.watchDropped.Load() == 0; i++ {
+		base := graph.VertexID(i * 2000)
+		b := make(graph.Batch, 0, 2000)
+		for j := graph.VertexID(0); j < 2000; j++ {
+			b = append(b, graph.Mutation{Kind: graph.MutAddVertex, U: base + j})
+		}
+		if _, ok := s.Enqueue(b); !ok {
+			t.Fatal("enqueue refused during stall test")
+		}
+		s.TickNow()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.watchDropped.Load(); got == 0 {
+		t.Fatal("stalled watch consumer was never dropped")
+	}
+	// The handler goroutine must actually exit — watchers returning to 0
+	// is the no-leak proof.
+	waitFor(t, 5*time.Second, "stalled watcher goroutine to exit", func() bool {
+		return s.watchers.Load() == 0
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

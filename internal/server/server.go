@@ -7,11 +7,14 @@
 // partitioners embedded in near-real-time graph processing) assume.
 //
 // Concurrency model: ingestion and adaptation never share a lock.
-// POST /v1/mutations appends to a pending batch under its own mutex and
-// returns immediately; the tick loop swaps the pending batch out,
-// applies it and runs heuristic iterations under the state lock, held
-// per-iteration so placement queries (read lock) interleave between
-// iterations rather than waiting out a whole tick. Checkpoints capture
+// Ingest (JSON POST /v1/mutations or the binary frame plane) appends to
+// one of several sharded pending queues — each producer sticks to a
+// shard, so per-producer order is preserved while concurrent producers
+// never contend on one mutex — bounded by MaxPending (excess batches are
+// rejected with backpressure, not buffered). The tick loop swaps the
+// shard queues out, applies them and runs heuristic iterations under the
+// state lock, held per-iteration so placement queries (read lock)
+// interleave between iterations rather than waiting out a whole tick. Checkpoints capture
 // under the read lock — concurrent queries proceed, adaptation briefly
 // pauses — and write to disk outside any lock.
 package server
@@ -19,7 +22,9 @@ package server
 import (
 	"fmt"
 	"math"
+	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,7 +72,45 @@ type Config struct {
 	// older epochs gets a resync event instead. Bounds the feed's memory
 	// regardless of consumer speed. 0 means DefaultWatchRing.
 	WatchRing int
+	// MaxPending caps the total ingest queue (mutations awaiting a tick,
+	// summed across shards). A batch that would exceed the cap is
+	// rejected whole — HTTP 429 with a Retry-After hint, a backpressure
+	// NAK on the binary plane — so a producer outrunning the tick drain
+	// bounds the daemon's memory instead of growing it to OOM.
+	// 0 means DefaultMaxPending; negative disables the cap.
+	MaxPending int
+	// IngestShards is the number of independent ingest queues. Each
+	// connection (binary) or client (JSON, by remote address) sticks to
+	// one shard, so per-producer mutation order is preserved while
+	// concurrent producers stop contending on one mutex. 0 means one
+	// shard per CPU (capped at MaxIngestShards).
+	IngestShards int
+	// WatchWriteTimeout bounds each event write on a GET /v1/watch
+	// stream. A consumer that cannot take an event within the deadline
+	// is dropped (counted in apartd_watch_dropped_total) instead of
+	// wedging its handler goroutine on a dead TCP peer forever.
+	// 0 means DefaultWatchWriteTimeout; negative disables the deadline.
+	WatchWriteTimeout time.Duration
+	// BinaryIdleTimeout disconnects a binary-plane connection silent for
+	// this long (the producer redials). 0 means
+	// DefaultBinaryIdleTimeout; negative disables the deadline.
+	BinaryIdleTimeout time.Duration
 }
+
+// DefaultMaxPending is the ingest-queue cap used when Config.MaxPending
+// is zero: one million mutations ≈ a few hundred seconds of headroom at
+// typical tick drain rates, ~16 MiB resident worst case.
+const DefaultMaxPending = 1 << 20
+
+// MaxIngestShards caps the shard count resolved from IngestShards=0 —
+// beyond this, per-shard batches get too small for the tick drain to
+// amortise.
+const MaxIngestShards = 32
+
+// DefaultWatchWriteTimeout is the per-event write deadline used when
+// Config.WatchWriteTimeout is zero. 30 s tolerates long consumer GC
+// pauses while still reclaiming handlers from dead peers.
+const DefaultWatchWriteTimeout = 30 * time.Second
 
 // DefaultConfig returns the daemon's standard setting: the paper's
 // heuristic parameters, incremental scheduling, a 250 ms coalescing tick
@@ -100,6 +143,9 @@ func (c Config) validate() error {
 	if c.WatchRing < 0 {
 		return fmt.Errorf("server: WatchRing must be ≥ 0, got %d", c.WatchRing)
 	}
+	if c.IngestShards < 0 {
+		return fmt.Errorf("server: IngestShards must be ≥ 0, got %d", c.IngestShards)
+	}
 	return nil
 }
 
@@ -126,13 +172,18 @@ type Server struct {
 	mu   sync.RWMutex
 	part *core.Partitioner
 
-	// pendMu guards the ingest queue; never held together with mu.
-	pendMu      sync.Mutex
-	pending     graph.Batch
-	oldestUnixN int64 // UnixNano of the oldest pending mutation, 0 when empty
+	// The ingest plane: per-shard queues (each with its own mutex, never
+	// held together with mu), a shared atomic occupancy counter that
+	// enforces maxPending without taking any shard lock, and a
+	// round-robin cursor for producers without a natural shard key.
+	shards     []ingestShard
+	maxPending int           // resolved cap (math.MaxInt when disabled)
+	pendingN   atomic.Int64  // mutations queued across all shards
+	enqueueRR  atomic.Uint32 // round-robin cursor for Enqueue
 
 	// Monotonic counters, atomically updated, exported by /metrics.
 	ingested     atomic.Uint64 // mutations accepted over HTTP
+	rejected     atomic.Uint64 // mutations refused by the MaxPending cap
 	applied      atomic.Uint64 // mutations that changed the graph
 	ticks        atomic.Uint64 // coalescing ticks processed
 	iterations   atomic.Uint64 // heuristic iterations executed
@@ -155,8 +206,16 @@ type Server struct {
 	watchers      atomic.Int64  // currently connected watch streams
 	watchEvents   atomic.Uint64 // diff lines written across all watchers
 	watchResyncs  atomic.Uint64 // resync events sent to lagging watchers
+	watchDropped  atomic.Uint64 // watch subscribers dropped on a write-deadline miss
 	batchRequests atomic.Uint64 // POST /v1/placements requests served
 	batchLookups  atomic.Uint64 // vertex lookups served by those requests
+
+	// The binary ingest plane (binary.go): live connections tracked for
+	// teardown, plus its own counters.
+	binMu        sync.Mutex
+	binConns     map[net.Conn]struct{}
+	binaryConns  atomic.Int64  // currently connected binary producers
+	binaryFrames atomic.Uint64 // batch frames accepted
 
 	mux      *http.ServeMux
 	started  atomic.Bool
@@ -216,13 +275,29 @@ func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
 	if ring == 0 {
 		ring = DefaultWatchRing
 	}
+	maxPending := cfg.MaxPending
+	switch {
+	case maxPending == 0:
+		maxPending = DefaultMaxPending
+	case maxPending < 0:
+		maxPending = math.MaxInt
+	}
+	nShards := cfg.IngestShards
+	if nShards == 0 {
+		nShards = runtime.GOMAXPROCS(0)
+		if nShards > MaxIngestShards {
+			nShards = MaxIngestShards
+		}
+	}
 	s := &Server{
-		cfg:      cfg,
-		coreCfg:  coreCfg,
-		part:     p,
-		hub:      newWatchHub(uint64(ring)),
-		stop:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		cfg:        cfg,
+		coreCfg:    coreCfg,
+		part:       p,
+		shards:     make([]ingestShard, nShards),
+		maxPending: maxPending,
+		hub:        newWatchHub(uint64(ring)),
+		stop:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
 	}
 	s.publishInitialRouting()
 	s.mux = s.routes()
@@ -233,29 +308,110 @@ func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
 // overrides).
 func (s *Server) Config() Config { return s.cfg }
 
-// Enqueue appends mutations to the pending batch consumed by the next
-// tick. It never blocks on adaptation. Returns the queue length after
-// the append.
-func (s *Server) Enqueue(b graph.Batch) int {
-	s.pendMu.Lock()
-	defer s.pendMu.Unlock()
-	if len(s.pending) == 0 && len(b) > 0 {
-		s.oldestUnixN = time.Now().UnixNano()
-	}
-	s.pending = append(s.pending, b...)
-	s.ingested.Add(uint64(len(b)))
-	return len(s.pending)
+// ingestShard is one independent ingest queue. Its mutex is never held
+// together with the server's state lock, and shards never share cache
+// lines under write contention in practice (each is touched by a stable
+// subset of producers).
+type ingestShard struct {
+	mu          sync.Mutex
+	pending     graph.Batch
+	oldestUnixN int64 // UnixNano of the oldest pending mutation, 0 when empty
 }
 
-// PendingMutations returns the current ingest-queue length and the age
-// of its oldest entry (zero when empty) — the daemon's ingest lag.
-func (s *Server) PendingMutations() (n int, age time.Duration) {
-	s.pendMu.Lock()
-	defer s.pendMu.Unlock()
-	if len(s.pending) > 0 {
-		age = time.Duration(time.Now().UnixNano() - s.oldestUnixN)
+// Enqueue appends mutations to the pending queue consumed by the next
+// tick, picking a shard round-robin. It never blocks on adaptation.
+// Returns the total queue length after the append and whether the batch
+// was accepted: ok=false means the MaxPending cap would be exceeded and
+// NOTHING was enqueued — the producer should back off one tick and
+// retry the same batch.
+func (s *Server) Enqueue(b graph.Batch) (queued int, ok bool) {
+	return s.EnqueueShard(b, s.enqueueRR.Add(1)-1)
+}
+
+// EnqueueShard is Enqueue onto an explicit shard (taken modulo the shard
+// count). Producers with a natural stream identity — a binary-plane
+// connection, a JSON client address — use a sticky shard so their own
+// mutation order survives the sharded drain; ordering across different
+// producers is unspecified, exactly as it already was under concurrent
+// HTTP ingest.
+func (s *Server) EnqueueShard(b graph.Batch, shard uint32) (queued int, ok bool) {
+	if len(b) == 0 {
+		return int(s.pendingN.Load()), true
 	}
-	return len(s.pending), age
+	// Reserve capacity first, against the atomic total: the cap check
+	// never takes a shard lock, and concurrent reservations can only
+	// under-fill, never overshoot.
+	n := s.pendingN.Add(int64(len(b)))
+	if n > int64(s.maxPending) {
+		s.pendingN.Add(-int64(len(b)))
+		s.rejected.Add(uint64(len(b)))
+		return int(n - int64(len(b))), false
+	}
+	sh := &s.shards[int(shard)%len(s.shards)]
+	sh.mu.Lock()
+	if len(sh.pending) == 0 {
+		sh.oldestUnixN = time.Now().UnixNano()
+	}
+	sh.pending = append(sh.pending, b...)
+	sh.mu.Unlock()
+	s.ingested.Add(uint64(len(b)))
+	return int(n), true
+}
+
+// RetryAfterHint is the backoff the daemon suggests to a producer that
+// hit the MaxPending cap: one tick period (the queue drains on ticks),
+// never less than a millisecond.
+func (s *Server) RetryAfterHint() time.Duration {
+	if s.cfg.TickEvery > time.Millisecond {
+		return s.cfg.TickEvery
+	}
+	return time.Millisecond
+}
+
+// PendingMutations returns the current ingest-queue length (across all
+// shards) and the age of its oldest entry (zero when empty) — the
+// daemon's ingest lag.
+func (s *Server) PendingMutations() (n int, age time.Duration) {
+	oldest := int64(0)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		if len(sh.pending) > 0 && (oldest == 0 || sh.oldestUnixN < oldest) {
+			oldest = sh.oldestUnixN
+		}
+		sh.mu.Unlock()
+	}
+	if oldest != 0 {
+		age = time.Duration(time.Now().UnixNano() - oldest)
+	}
+	return n, age
+}
+
+// drainPending swaps out every shard's queue and concatenates them in
+// shard order. Mutations from one producer stay in their enqueue order
+// (a producer sticks to one shard); interleaving across producers is
+// arbitrary, as it is for any concurrent ingest.
+func (s *Server) drainPending() graph.Batch {
+	var batch graph.Batch
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		p := sh.pending
+		sh.pending = nil
+		sh.oldestUnixN = 0
+		sh.mu.Unlock()
+		if len(p) == 0 {
+			continue
+		}
+		if batch == nil {
+			batch = p // single-busy-shard fast path: no copy
+		} else {
+			batch = append(batch, p...)
+		}
+	}
+	s.pendingN.Add(-int64(len(batch)))
+	return batch
 }
 
 // TickResult reports one coalescing tick.
@@ -275,11 +431,7 @@ type TickResult struct {
 // per-tick budget. The background loop calls it on every TickEvery; tests
 // and the drain path call it directly.
 func (s *Server) TickNow() TickResult {
-	s.pendMu.Lock()
-	batch := s.pending
-	s.pending = nil
-	s.oldestUnixN = 0
-	s.pendMu.Unlock()
+	batch := s.drainPending()
 
 	var res TickResult
 	res.BatchSize = len(batch)
@@ -400,13 +552,16 @@ func (s *Server) Start() {
 	}()
 }
 
-// Stop terminates the background tick loop and waits for it to exit.
-// Idempotent; a server that never Started returns immediately.
+// Stop terminates the background tick loop and waits for it to exit,
+// then disconnects any binary-plane producers (their listener, owned by
+// the caller, must be closed separately). Idempotent; a server that
+// never Started returns after the teardown.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	if s.started.Load() {
 		<-s.loopDone
 	}
+	s.CloseBinary()
 }
 
 // Drain performs the graceful-shutdown sequence: stop the tick loop,
@@ -451,6 +606,7 @@ type Stats struct {
 	Ticks          uint64  `json:"ticks"`
 	Ingested       uint64  `json:"mutations_ingested"`
 	Applied        uint64  `json:"mutations_applied"`
+	Rejected       uint64  `json:"mutations_rejected"`
 	Pending        int     `json:"mutations_pending"`
 	Checkpoints    uint64  `json:"checkpoints"`
 	Incremental    bool    `json:"incremental"`
@@ -484,6 +640,7 @@ func (s *Server) Stats() Stats {
 	st.Ticks = s.ticks.Load()
 	st.Ingested = s.ingested.Load()
 	st.Applied = s.applied.Load()
+	st.Rejected = s.rejected.Load()
 	st.Checkpoints = s.checkpoints.Load()
 	st.Pending, _ = s.PendingMutations()
 	return st

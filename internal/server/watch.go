@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // This file is the change feed: GET /v1/watch streams per-epoch routing
@@ -158,7 +159,28 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	s.watchers.Add(1)
 	defer s.watchers.Add(-1)
 
+	// Every event write runs under a write deadline: a dead or stalled
+	// consumer TCP connection produces no read-side signal (ctx.Done only
+	// fires on clean disconnects), so without the deadline one wedged
+	// peer would pin this handler goroutine — and its diff backlog —
+	// forever. A deadline miss drops the subscriber; it can reconnect and
+	// resync like any lagging consumer.
+	rc := http.NewResponseController(w)
+	deadline := s.cfg.WatchWriteTimeout
+	if deadline == 0 {
+		deadline = DefaultWatchWriteTimeout
+	}
 	enc := json.NewEncoder(w)
+	write := func(ev watchEvent) bool {
+		if deadline > 0 {
+			rc.SetWriteDeadline(time.Now().Add(deadline)) //nolint:errcheck // unsupported writers just keep no deadline
+		}
+		if err := enc.Encode(ev); err != nil {
+			s.watchDropped.Add(1)
+			return false
+		}
+		return true
+	}
 	ctx := r.Context()
 	for {
 		// Register for wakeup BEFORE checking the ring: a diff published
@@ -167,7 +189,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		diffs, needResync := s.hub.since(from)
 		if needResync {
 			s.watchResyncs.Add(1)
-			if err := enc.Encode(watchEvent{Resync: true, Epoch: s.Routing().Epoch}); err != nil {
+			if !write(watchEvent{Resync: true, Epoch: s.Routing().Epoch}) {
 				return
 			}
 			flusher.Flush()
@@ -180,8 +202,8 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		for _, d := range diffs {
-			if err := enc.Encode(watchEvent{Epoch: d.Epoch, Changes: d.Changes}); err != nil {
-				return // client gone; its TCP backpressure ends here
+			if !write(watchEvent{Epoch: d.Epoch, Changes: d.Changes}) {
+				return // consumer dead, stalled past the deadline, or gone
 			}
 			s.watchEvents.Add(1)
 			from = d.Epoch + 1
