@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the read-replica plane: build apartd and
+# apartr, stream mutations into the primary, bring up a replica, require
+# identical placements from both at the same epoch, then kill and
+# restart the primary and require the replica to detect the new
+# incarnation (apartr_resyncs_total ≥ 1) and re-converge to it. CI runs
+# this on every push/PR (the "replica smoke" job); it needs only bash,
+# curl and jq. docs/REPLICATION.md specifies the protocol under test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRIMARY=${PRIMARY:-127.0.0.1:18293}
+REPLICA=${REPLICA:-127.0.0.1:18294}
+WORK=$(mktemp -d)
+DPID=""
+RPID=""
+cleanup() {
+  [ -n "$RPID" ] && kill "$RPID" 2>/dev/null || true
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+N=200
+
+go build -o "$WORK/apartd" ./cmd/apartd
+go build -o "$WORK/apartr" ./cmd/apartr
+
+wait_healthy() {
+  local addr=$1 name=$2 log=$3
+  for _ in $(seq 1 150); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "$name did not become healthy on $addr" >&2
+  [ -f "$log" ] && cat "$log" >&2
+  return 1
+}
+
+# Batch of ring edges [lo,hi) plus one chord, posted to the primary.
+post_batch() {
+  local lo=$1 hi=$2 muts="" v w
+  for v in $(seq "$lo" "$((hi - 1))"); do
+    w=$(((v + 1) % N))
+    muts+="{\"op\":\"add-edge\",\"u\":$v,\"v\":$w},"
+  done
+  muts+="{\"op\":\"add-edge\",\"u\":$lo,\"v\":$(((lo + N / 2) % N))}"
+  curl -fsS -X POST "http://$PRIMARY/v1/mutations" \
+    -H 'Content-Type: application/json' \
+    -d "{\"mutations\":[$muts]}" >/dev/null
+}
+
+# Poll the primary's /v1/stats until the queue drains and it converges.
+wait_quiescent() {
+  for _ in $(seq 1 200); do
+    local stats pending converged
+    stats=$(curl -fsS "http://$PRIMARY/v1/stats")
+    pending=$(jq -r .mutations_pending <<<"$stats")
+    converged=$(jq -r .converged <<<"$stats")
+    if [ "$pending" = 0 ] && [ "$converged" = true ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "primary did not quiesce; last stats: $stats" >&2
+  return 1
+}
+
+# Poll the replica until its served epoch matches the primary's routing
+# epoch (the primary must be quiescent first). Epoch numbers alone are
+# ambiguous across primary incarnations — a replica still serving an old
+# incarnation's epoch-3 table "matches" a new primary that also reached
+# epoch 3 — so callers that just restarted the primary must first
+# wait_resynced to know the replica is on the new incarnation.
+wait_caught_up() {
+  local want got
+  for _ in $(seq 1 200); do
+    want=$(curl -fsS "http://$PRIMARY/v1/stats" | jq -r .routing_epoch)
+    got=$(curl -fsS "http://$REPLICA/v1/stats" | jq -r .epoch)
+    if [ "$got" = "$want" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "replica stuck at epoch $got, primary at $want" >&2
+  curl -fsS "http://$REPLICA/v1/stats" | jq . >&2
+  return 1
+}
+
+# Poll the replica until it has re-bootstrapped at least once — the
+# X-Apartd-Instance check firing after a primary restart. Generous
+# deadline: the replica may still be in reconnect backoff when the new
+# primary comes up.
+wait_resynced() {
+  local resyncs
+  for _ in $(seq 1 300); do
+    resyncs=$(curl -fsS "http://$REPLICA/v1/stats" | jq -r .resyncs)
+    if [ "$resyncs" -ge 1 ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "replica reports $resyncs resyncs after a primary restart, want ≥ 1" >&2
+  curl -fsS "http://$REPLICA/v1/stats" | jq . >&2
+  return 1
+}
+
+# Dump every vertex's placement from one endpoint as sorted JSON lines,
+# via the batch endpoint (one request, one epoch).
+dump_placements() {
+  local addr=$1 out=$2 ids
+  ids=$(seq 0 $((N - 1)) | paste -sd, -)
+  curl -fsS -X POST "http://$addr/v1/placements" \
+    -H 'Content-Type: application/json' \
+    -d "{\"vertices\":[$ids]}" | jq -c '.placements[]' >"$out"
+}
+
+echo "== start primary"
+"$WORK/apartd" -addr "$PRIMARY" -k 4 -seed 7 -tick 50ms \
+  >"$WORK/apartd.log" 2>&1 &
+DPID=$!
+wait_healthy "$PRIMARY" apartd "$WORK/apartd.log"
+
+echo "== stream mutations into the primary"
+post_batch 0 70
+post_batch 70 140
+post_batch 140 200
+wait_quiescent
+
+echo "== start replica"
+"$WORK/apartr" -addr "$REPLICA" -upstream "http://$PRIMARY" \
+  -lag-poll 100ms -reconnect-min 50ms -reconnect-max 1s \
+  >"$WORK/apartr.log" 2>&1 &
+RPID=$!
+wait_healthy "$REPLICA" apartr "$WORK/apartr.log"
+wait_caught_up
+
+echo "== diff primary vs replica placements at matched epochs"
+dump_placements "$PRIMARY" "$WORK/primary.jsonl"
+dump_placements "$REPLICA" "$WORK/replica.jsonl"
+if ! diff -u "$WORK/primary.jsonl" "$WORK/replica.jsonl"; then
+  echo "replica placements diverged from the primary" >&2
+  exit 1
+fi
+PEPOCH=$(curl -fsS "http://$PRIMARY/v1/stats" | jq -r .routing_epoch)
+REPOCH=$(curl -fsS "http://$REPLICA/v1/stats" | jq -r .epoch)
+if [ "$PEPOCH" != "$REPOCH" ]; then
+  echo "epochs diverged after diff: primary $PEPOCH, replica $REPOCH" >&2
+  exit 1
+fi
+curl -fsS "http://$REPLICA/metrics" | grep -E '^apartr_(epoch|bootstraps_total|resyncs_total)' >&2
+
+echo "== kill the primary; replica must keep serving last-known-good"
+kill -TERM "$DPID"
+wait "$DPID" || true
+DPID=""
+sleep 0.3
+P0=$(curl -fsS "http://$REPLICA/v1/placement/0" | jq -r .partition)
+if [ "$P0" = "null" ] || [ -z "$P0" ]; then
+  echo "replica stopped serving while the primary was down" >&2
+  exit 1
+fi
+
+echo "== restart the primary (fresh incarnation, epochs reset)"
+"$WORK/apartd" -addr "$PRIMARY" -k 4 -seed 7 -tick 50ms \
+  >>"$WORK/apartd.log" 2>&1 &
+DPID=$!
+wait_healthy "$PRIMARY" apartd "$WORK/apartd.log"
+post_batch 0 70
+post_batch 70 140
+post_batch 140 200
+wait_quiescent
+
+echo "== replica must resync to the new incarnation and re-converge"
+wait_resynced
+wait_caught_up
+RESYNCS=$(curl -fsS "http://$REPLICA/v1/stats" | jq -r .resyncs)
+dump_placements "$PRIMARY" "$WORK/primary2.jsonl"
+dump_placements "$REPLICA" "$WORK/replica2.jsonl"
+if ! diff -u "$WORK/primary2.jsonl" "$WORK/replica2.jsonl"; then
+  echo "replica placements diverged from the restarted primary" >&2
+  exit 1
+fi
+
+kill -TERM "$RPID"
+wait "$RPID" || true
+RPID=""
+kill -TERM "$DPID"
+wait "$DPID" || true
+DPID=""
+echo "replica smoke OK: $N placements identical, $RESYNCS resync(s) across primary restart"

@@ -13,7 +13,7 @@ fail=0
 # a rename or deletion should fail this gate, not silently shrink the
 # docs.
 for required in README.md docs/ARCHITECTURE.md docs/API.md docs/OPERATIONS.md \
-  examples/quickstart/README.md; do
+  docs/REPLICATION.md examples/quickstart/README.md; do
   if [ ! -f "$required" ]; then
     echo "linkcheck: required documentation file missing: $required" >&2
     fail=1

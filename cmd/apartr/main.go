@@ -1,0 +1,140 @@
+// Command apartr is the read-replica daemon: a process that copies a
+// primary apartd's routing table over its public HTTP API and serves
+// placement reads from the copy with the same lock-free snapshot path as
+// the primary. Replicas are how reads survive a primary restart and how
+// read throughput scales horizontally — each replica answers from local
+// memory; only the replication stream touches the primary.
+//
+// It bootstraps by paging POST /v1/placements (cursor+limit form), tails
+// GET /v1/watch for per-epoch diffs, and re-bootstraps automatically
+// when the primary evicts its resume point from the diff ring, restarts
+// (detected by the X-Apartd-Instance token, not by epoch numbers), or
+// regresses epochs. docs/REPLICATION.md specifies the protocol and the
+// consistency contract; docs/OPERATIONS.md has the runbook.
+//
+// Run against a primary and read through the replica:
+//
+//	apartr -addr :8081 -upstream http://127.0.0.1:8080
+//	curl localhost:8081/v1/placement/0
+//	curl -X POST localhost:8081/v1/placements -d '{"vertices":[0,1,2]}'
+//	curl localhost:8081/v1/stats
+//	curl localhost:8081/healthz
+//
+// /healthz goes 503 while bootstrapping and when the replica lags the
+// primary by more than -max-lag-epochs; a primary that is merely
+// unreachable does NOT fail health — serving last-known-good placements
+// is the point of the replica tier. On SIGTERM/SIGINT the replica stops
+// its replication loops, finishes in-flight reads and exits; it holds no
+// durable state, so a restarted replica simply re-bootstraps.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xdgp/internal/replica"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "apartr:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed command line.
+type options struct {
+	addr              string
+	readHeaderTimeout time.Duration
+	idleTimeout       time.Duration
+	cfg               replica.Config
+}
+
+// parseFlags builds the replica configuration from the command line.
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("apartr", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8081", "listen address for the read API")
+		upstream  = fs.String("upstream", "", "primary apartd base URL (required), e.g. http://127.0.0.1:8080")
+		page      = fs.Int("page", replica.MaxPageSize, "bootstrap page size in vertex IDs (max 100000)")
+		maxLag    = fs.Int("max-lag-epochs", replica.DefaultMaxLagEpochs, "epochs behind the primary before /healthz goes 503 (-1 = never)")
+		lagPoll   = fs.Duration("lag-poll", replica.DefaultLagPoll, "how often to poll the primary's /v1/stats for its epoch")
+		reconMin  = fs.Duration("reconnect-min", replica.DefaultReconnectMin, "floor of the jittered reconnect backoff")
+		reconMax  = fs.Duration("reconnect-max", replica.DefaultReconnectMax, "ceiling of the jittered reconnect backoff")
+		readHdrTO = fs.Duration("read-header-timeout", 10*time.Second, "HTTP request-header read timeout (slowloris guard)")
+		idleTO    = fs.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle connection timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *upstream == "" {
+		return nil, fmt.Errorf("-upstream is required (the primary's base URL)")
+	}
+	cfg := replica.DefaultConfig(*upstream)
+	cfg.PageSize = *page
+	cfg.MaxLagEpochs = *maxLag
+	cfg.LagPollEvery = *lagPoll
+	cfg.ReconnectMin = *reconMin
+	cfg.ReconnectMax = *reconMax
+	return &options{
+		addr:              *addr,
+		readHeaderTimeout: *readHdrTO,
+		idleTimeout:       *idleTO,
+		cfg:               cfg,
+	}, nil
+}
+
+func run(args []string) error {
+	opts, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	r, err := replica.New(opts.cfg)
+	if err != nil {
+		return err
+	}
+	r.Start()
+	defer r.Stop()
+
+	httpSrv := &http.Server{
+		Addr:              opts.addr,
+		Handler:           r,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("apartr listening on %s (upstream=%s page=%d max-lag-epochs=%d)",
+		opts.addr, opts.cfg.Upstream, opts.cfg.PageSize, opts.cfg.MaxLagEpochs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case got := <-sig:
+		log.Printf("received %s: shutting down", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // in-flight reads get the grace window
+		r.Stop()
+		st := r.Stats()
+		log.Printf("stopped at epoch %d (%s, %d resyncs, %d reads served)",
+			st.Epoch, st.State, st.Resyncs, st.ReadsServed)
+		return nil
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"xdgp/internal/replica"
+)
+
+func TestParseFlags(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-addr", ":9001", "-upstream", "http://10.0.0.5:8080",
+		"-page", "500", "-max-lag-epochs", "16",
+		"-lag-poll", "250ms", "-reconnect-min", "50ms", "-reconnect-max", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":9001" || opts.cfg.Upstream != "http://10.0.0.5:8080" {
+		t.Fatalf("parsed %+v", opts)
+	}
+	if opts.cfg.PageSize != 500 || opts.cfg.MaxLagEpochs != 16 {
+		t.Fatalf("parsed %+v", opts.cfg)
+	}
+	if opts.cfg.LagPollEvery != 250*time.Millisecond ||
+		opts.cfg.ReconnectMin != 50*time.Millisecond ||
+		opts.cfg.ReconnectMax != 2*time.Second {
+		t.Fatalf("parsed %+v", opts.cfg)
+	}
+	// The parsed config must be accepted by the replica constructor.
+	if _, err := replica.New(opts.cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	opts, err := parseFlags([]string{"-upstream", "http://x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.PageSize != replica.MaxPageSize ||
+		opts.cfg.MaxLagEpochs != replica.DefaultMaxLagEpochs ||
+		opts.cfg.LagPollEvery != replica.DefaultLagPoll {
+		t.Fatalf("defaults not applied: %+v", opts.cfg)
+	}
+}
+
+func TestParseFlagsRejectsJunk(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil {
+		t.Fatal("accepted a command line without -upstream")
+	}
+	if _, err := parseFlags([]string{"-upstream", "http://x", "stray"}); err == nil {
+		t.Fatal("accepted stray positional argument")
+	}
+	if _, err := parseFlags([]string{"-upstream", "http://x", "-no-such-flag"}); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+	// Flag parsing passes an oversized -page through; the constructor is
+	// the validation authority and must reject it.
+	opts, err := parseFlags([]string{"-upstream", "http://x", "-page", "200000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.New(opts.cfg); err == nil {
+		t.Fatal("oversized -page accepted by the constructor")
+	}
+}

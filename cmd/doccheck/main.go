@@ -2,11 +2,11 @@
 // it parses the given package directories and fails when any exported
 // identifier — function, method on an exported type, type, constant or
 // variable — lacks a doc comment. CI runs it over the daemon-facing
-// packages (internal/server, internal/partition, internal/snapshot) so
-// the godoc contract (every exported symbol states its concurrency /
-// zero-copy expectations) cannot rot silently.
+// packages (internal/server, internal/replica, internal/partition,
+// internal/snapshot) so the godoc contract (every exported symbol
+// states its concurrency / zero-copy expectations) cannot rot silently.
 //
-//	doccheck ./internal/server ./internal/partition ./internal/snapshot
+//	doccheck ./internal/server ./internal/replica ./internal/partition ./internal/snapshot
 //
 // A grouped declaration (`const ( ... )`, `var ( ... )`) counts as
 // documented when either the group or the individual spec carries the

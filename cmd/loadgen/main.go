@@ -22,6 +22,17 @@
 //	loadgen -target http://127.0.0.1:8080 -mode binary -binary-target 127.0.0.1:8081 \
 //	        -in ba1m.edges -conns 4 -batch 4096 -read-qps 2000 -watch 2
 //
+// With -read-only the mutation stream is skipped entirely and loadgen
+// becomes a pure read driver for -duration: point -target at an apartr
+// replica (or a primary) and measure the read path alone, using
+// [0, -read-max-id] as the lookup key space. Replicas serve no watch
+// feed, so combine -watch with a replica target only if you want the
+// errors.
+//
+//	apartr -addr :8082 -upstream http://127.0.0.1:8080 &
+//	loadgen -target http://127.0.0.1:8082 -read-only -read-max-id 100000 \
+//	        -read-qps 5000 -duration 30s
+//
 // A non-zero exit means hard errors (protocol failures, 5xx, transport
 // errors) occurred; backpressure retries never fail a run.
 package main
@@ -69,6 +80,9 @@ type options struct {
 	watch        int           // concurrent watch streams
 	drainWait    time.Duration // how long to wait for the ingest queue to drain
 	quiet        bool          // suppress the human summary on stderr
+	readOnly     bool          // no mutation stream: drive reads for -duration
+	duration     time.Duration // read-only run length
+	readMaxID    int64         // read-only lookup key space is [0, readMaxID]
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -87,11 +101,25 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.watch, "watch", 0, "concurrent GET /v1/watch streams to hold open during the run")
 	fs.DurationVar(&o.drainWait, "drain-wait", time.Minute, "how long to wait for mutations_pending to reach zero after the stream ends")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the human-readable summary on stderr")
+	fs.BoolVar(&o.readOnly, "read-only", false, "skip the mutation stream and drive reads for -duration; works against apartr replicas")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "read-only run length")
+	fs.Int64Var(&o.readMaxID, "read-max-id", -1, "read-only lookup key space upper bound (required with -read-only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.readOnly {
+		if o.readQPS <= 0 && o.watch == 0 {
+			return nil, fmt.Errorf("-read-only needs -read-qps > 0 (or -watch) — there is no mutation load to measure")
+		}
+		if o.readQPS > 0 && o.readMaxID < 0 {
+			return nil, fmt.Errorf("-read-only needs -read-max-id ≥ 0 (the lookup key space; the target's /v1/stats vertices is a good value)")
+		}
+		if o.duration <= 0 {
+			return nil, fmt.Errorf("-duration must be positive with -read-only")
+		}
 	}
 	if o.mode != "json" && o.mode != "binary" {
 		return nil, fmt.Errorf("-mode %q: want json or binary", o.mode)
@@ -168,6 +196,9 @@ func run(args []string, stdout io.Writer) error {
 		MaxIdleConnsPerHost: opts.conns + opts.watch + 4,
 	}}
 	var cnt counters
+	if opts.readOnly {
+		return runReadOnly(opts, httpc, &cnt, stdout)
+	}
 
 	// Readers and watchers run for the duration of the producer phase.
 	ctx, stopReads := context.WithCancel(context.Background())
@@ -253,6 +284,55 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if !drained {
 		return fmt.Errorf("ingest queue still not empty after %s", opts.drainWait)
+	}
+	return nil
+}
+
+// runReadOnly is the -read-only run: no producers, no drain — just the
+// read mix against -target (a replica or a primary) for -duration, over
+// the fixed key space [0, -read-max-id].
+func runReadOnly(opts *options, httpc *http.Client, cnt *counters, stdout io.Writer) error {
+	cnt.maxVertex.Store(opts.readMaxID)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	if opts.readQPS > 0 {
+		wg.Add(1)
+		go func() { defer wg.Done(); runReads(ctx, opts, httpc, cnt) }()
+	}
+	for i := 0; i < opts.watch; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); runWatch(ctx, opts, httpc, cnt) }()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Mode:           "read-only",
+		ElapsedSeconds: elapsed.Seconds(),
+		Reads:          cnt.reads.Load(),
+		ReadErrors:     cnt.readErrors.Load(),
+		ReadP50Millis:  cnt.lat.quantile(0.50),
+		ReadP99Millis:  cnt.lat.quantile(0.99),
+		WatchStreams:   opts.watch,
+		WatchEvents:    cnt.watchEvents.Load(),
+		Drained:        true, // nothing was ingested, nothing to drain
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !opts.quiet {
+		fmt.Fprintf(os.Stderr,
+			"loadgen: read-only: %d reads in %.2fs = %.0f reads/s, p50=%.2fms p99=%.2fms (%d errors); %d watch events\n",
+			rep.Reads, rep.ElapsedSeconds, float64(rep.Reads)/rep.ElapsedSeconds,
+			rep.ReadP50Millis, rep.ReadP99Millis, rep.ReadErrors, rep.WatchEvents)
+	}
+	if rep.ReadErrors > 0 {
+		msg, _ := cnt.firstErr.Load().(string)
+		return fmt.Errorf("%d read errors (first: %s)", rep.ReadErrors, msg)
 	}
 	return nil
 }

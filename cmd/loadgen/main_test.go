@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xdgp/internal/graph"
+	"xdgp/internal/replica"
 	"xdgp/internal/server"
 )
 
@@ -35,6 +36,25 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if o.mode != "binary" || o.batch != 1024 {
 		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestParseFlagsReadOnlyValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-read-only"},                     // no read load at all
+		{"-read-only", "-read-qps", "100"}, // missing -read-max-id
+		{"-read-only", "-read-qps", "100", "-read-max-id", "9", "-duration", "0s"}, // no run length
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+	o, err := parseFlags([]string{"-read-only", "-read-qps", "100", "-read-max-id", "500"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.readOnly || o.readMaxID != 500 || o.duration != 10*time.Second {
+		t.Fatalf("parsed %+v", o)
 	}
 }
 
@@ -173,6 +193,67 @@ func TestEndToEndBothPlanes(t *testing.T) {
 		if rep.Reads == 0 {
 			t.Fatalf("%s run recorded no reads", mode)
 		}
+	}
+}
+
+// TestReadOnlyAgainstReplica points the -read-only mode at an apartr
+// replica: the read mix must be served entirely by the replica's copy.
+func TestReadOnlyAgainstReplica(t *testing.T) {
+	cfg := server.DefaultConfig(4, 7)
+	cfg.TickEvery = time.Hour
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close) // after the replica's Stop: its watch stream holds a conn open
+	b := make(graph.Batch, 0, 100)
+	for i := 0; i < 100; i++ {
+		b = append(b, graph.Mutation{Kind: graph.MutAddEdge,
+			U: graph.VertexID(i), V: graph.VertexID((i + 1) % 100)})
+	}
+	s.Enqueue(b)
+	s.TickNow()
+
+	rcfg := replica.DefaultConfig(ts.URL)
+	rcfg.LagPollEvery = 10 * time.Millisecond
+	r, err := replica.New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	r.Start()
+	rts := httptest.NewServer(r)
+	defer rts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ok, _ := r.Healthy(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never became healthy")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var out bytes.Buffer
+	args := []string{
+		"-read-only", "-target", rts.URL,
+		"-read-qps", "2000", "-read-batch", "4", "-read-max-id", "99",
+		"-duration", "300ms", "-quiet",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("read-only run: %v\n%s", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	if rep.Mode != "read-only" || rep.Reads == 0 || rep.ReadErrors != 0 {
+		t.Fatalf("report %+v: want read-only mode, reads > 0, no errors", rep)
+	}
+	if !rep.Drained || rep.Offered != 0 {
+		t.Fatalf("report %+v: read-only runs ingest nothing and always drain", rep)
 	}
 }
 

@@ -71,3 +71,111 @@ func TestFrozenConcurrentReaders(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestFrozenApplyBuildsAndAdvances(t *testing.T) {
+	// A replica's life: empty table, bootstrap page, then epoch diffs.
+	f0 := NewFrozen(3)
+	if f0.K() != 3 || f0.Slots() != 0 || f0.Assigned() != 0 {
+		t.Fatalf("empty frozen k=%d slots=%d assigned=%d", f0.K(), f0.Slots(), f0.Assigned())
+	}
+
+	f1 := f0.Apply([]Change{{Vertex: 0, To: 2}, {Vertex: 4, To: 0}, {Vertex: 1, To: 1}})
+	if f1.Slots() != 5 || f1.Assigned() != 3 {
+		t.Fatalf("after bootstrap: slots=%d assigned=%d", f1.Slots(), f1.Assigned())
+	}
+	for _, tc := range []struct {
+		v    graph.VertexID
+		want ID
+	}{{0, 2}, {1, 1}, {2, None}, {3, None}, {4, 0}} {
+		if got := f1.Of(tc.v); got != tc.want {
+			t.Fatalf("Of(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+
+	// An epoch diff: migrate 0, remove 4, add 7 (growing the table).
+	f2 := f1.Apply([]Change{{Vertex: 0, To: 1}, {Vertex: 4, To: None}, {Vertex: 7, To: 2}})
+	if f2.Slots() != 8 || f2.Assigned() != 3 {
+		t.Fatalf("after diff: slots=%d assigned=%d", f2.Slots(), f2.Assigned())
+	}
+	if f2.Of(0) != 1 || f2.Of(4) != None || f2.Of(7) != 2 || f2.Of(1) != 1 {
+		t.Fatalf("diff application wrong: %d %d %d %d", f2.Of(0), f2.Of(4), f2.Of(7), f2.Of(1))
+	}
+	// The receiver stayed immutable.
+	if f1.Of(0) != 2 || f1.Of(4) != 0 || f1.Slots() != 5 || f1.Assigned() != 3 {
+		t.Fatal("Apply mutated its receiver")
+	}
+	// Later changes to the same vertex win, and a same-vertex
+	// remove+re-add keeps the assigned counter right.
+	f3 := f2.Apply([]Change{{Vertex: 7, To: None}, {Vertex: 7, To: 0}, {Vertex: 7, To: 1}})
+	if f3.Of(7) != 1 || f3.Assigned() != 3 {
+		t.Fatalf("in-order apply: Of(7)=%d assigned=%d", f3.Of(7), f3.Assigned())
+	}
+}
+
+func TestFrozenApplyMatchesFreeze(t *testing.T) {
+	// Replaying every change made to an Assignment through Apply must
+	// land on the same table Freeze produces — the replication
+	// correctness kernel in miniature.
+	a := NewAssignment(0, 4)
+	var changes []Change
+	assign := func(v graph.VertexID, p ID) {
+		a.Assign(v, p)
+		changes = append(changes, Change{Vertex: v, To: p})
+	}
+	assign(3, 1)
+	assign(0, 0)
+	assign(3, 2)    // migration
+	assign(9, 3)    // growth
+	assign(0, None) // removal
+	assign(5, 1)
+
+	got := NewFrozen(4).Apply(changes)
+	want := a.Freeze()
+	if got.Assigned() != want.Assigned() || got.K() != want.K() {
+		t.Fatalf("headers differ: got (k=%d n=%d) want (k=%d n=%d)",
+			got.K(), got.Assigned(), want.K(), want.Assigned())
+	}
+	slots := max(got.Slots(), want.Slots())
+	for v := 0; v < slots; v++ {
+		if got.Of(graph.VertexID(v)) != want.Of(graph.VertexID(v)) {
+			t.Fatalf("vertex %d: replay %d, freeze %d", v, got.Of(graph.VertexID(v)), want.Of(graph.VertexID(v)))
+		}
+	}
+}
+
+func TestFrozenScanPages(t *testing.T) {
+	a := NewAssignment(10, 2)
+	a.Assign(1, 0)
+	a.Assign(4, 1)
+	a.Assign(9, 0)
+	f := a.Freeze()
+
+	collect := func(from, to int) []Change {
+		var got []Change
+		f.Scan(from, to, func(v graph.VertexID, p ID) {
+			got = append(got, Change{Vertex: v, To: p})
+		})
+		return got
+	}
+	// Paging in chunks covers exactly the assigned set, in order.
+	var paged []Change
+	for c := 0; c < 10; c += 4 {
+		paged = append(paged, collect(c, c+4)...)
+	}
+	want := []Change{{1, 0}, {4, 1}, {9, 0}}
+	if len(paged) != len(want) {
+		t.Fatalf("paged scan found %d entries, want %d", len(paged), len(want))
+	}
+	for i := range want {
+		if paged[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, paged[i], want[i])
+		}
+	}
+	// Out-of-range bounds clamp instead of panicking.
+	if got := collect(-5, 99); len(got) != 3 {
+		t.Fatalf("clamped scan found %d entries, want 3", len(got))
+	}
+	if got := collect(8, 3); got != nil {
+		t.Fatalf("inverted range scanned %v", got)
+	}
+}

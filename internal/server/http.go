@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"xdgp/internal/graph"
+	"xdgp/internal/partition"
 )
 
 // This file is the daemon's HTTP surface. All request and response
@@ -103,8 +104,12 @@ func (s *Server) routes() *http.ServeMux {
 }
 
 // ServeHTTP serves the daemon API; Server is a plain http.Handler, so it
-// mounts under any router or test server.
+// mounts under any router or test server. Every response carries the
+// X-Apartd-Instance header (the process-incarnation token): replication
+// clients compare it across requests to detect upstream restarts, since
+// epochs alone are ambiguous across incarnations (docs/REPLICATION.md).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Apartd-Instance", s.instance)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -174,10 +179,17 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// BatchRequest is the body of POST /v1/placements: up to
-// maxBatchVertices vertex IDs to look up in one shot.
+// BatchRequest is the body of POST /v1/placements. It has two mutually
+// exclusive forms: a lookup ("vertices": explicit IDs, up to
+// maxBatchVertices) and a bootstrap page ("cursor"+"limit": every placed
+// vertex with ID in [cursor, cursor+limit), the form replicas page
+// through to copy the whole table — see docs/REPLICATION.md). Limit is
+// capped at maxBatchVertices too, so one page costs the daemon no more
+// than one maximal lookup.
 type BatchRequest struct {
 	Vertices []int64 `json:"vertices"`
+	Cursor   *int64  `json:"cursor,omitempty"`
+	Limit    int64   `json:"limit,omitempty"`
 }
 
 // BatchPlacement is one entry of a batch-lookup response. Partition is
@@ -219,6 +231,57 @@ func (s *Server) BatchLookup(ids []graph.VertexID) BatchResponse {
 	return resp
 }
 
+// PageResponse is the body of a paged POST /v1/placements reply (the
+// cursor+limit request form). One page is answered from ONE routing
+// snapshot, like any batch read; Epoch stamps which one. Slots is the
+// exclusive upper bound on vertex IDs the snapshot covers — the ID space
+// a full bootstrap must page through — and NextCursor is the cursor of
+// the following page, -1 when this page was the last. Instance is the
+// serving process's incarnation token, duplicated from the
+// X-Apartd-Instance header so paging clients need only the JSON.
+type PageResponse struct {
+	Epoch      uint64           `json:"epoch"`
+	Instance   string           `json:"instance"`
+	K          int              `json:"k"`
+	Slots      int64            `json:"slots"`
+	NextCursor int64            `json:"next_cursor"`
+	Placements []BatchPlacement `json:"placements"`
+}
+
+// PageLookup answers one bootstrap page: every placed vertex with ID in
+// [cursor, cursor+limit) of the current routing snapshot. Like
+// BatchLookup it pins the snapshot with a single atomic load and never
+// touches the adaptation state lock; cost is O(limit) regardless of how
+// sparse the range is.
+func (s *Server) PageLookup(cursor, limit int64) PageResponse {
+	snap := s.routing.Load()
+	slots := int64(snap.Table.Slots())
+	resp := PageResponse{
+		Epoch:      snap.Epoch,
+		Instance:   s.instance,
+		K:          snap.Table.K(),
+		Slots:      slots,
+		NextCursor: -1,
+		Placements: []BatchPlacement{},
+	}
+	end := cursor + limit
+	if end > slots {
+		end = slots
+	}
+	snap.Table.Scan(int(cursor), int(end), func(v graph.VertexID, p partition.ID) {
+		resp.Placements = append(resp.Placements, BatchPlacement{
+			Vertex:    int64(v),
+			Partition: int64(p),
+		})
+	})
+	if end < slots {
+		resp.NextCursor = end
+	}
+	s.batchRequests.Add(1)
+	s.batchLookups.Add(uint64(len(resp.Placements)))
+	return resp
+}
+
 func (s *Server) handleBatchPlacements(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	var req BatchRequest
@@ -226,6 +289,29 @@ func (s *Server) handleBatchPlacements(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if req.Cursor != nil || req.Limit != 0 {
+		if len(req.Vertices) > 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("vertices and cursor/limit are mutually exclusive; send either a lookup or a page request"))
+			return
+		}
+		if req.Cursor == nil || req.Limit <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("a page request needs both cursor ≥ 0 and limit ≥ 1"))
+			return
+		}
+		if *req.Cursor < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cursor %d is negative", *req.Cursor))
+			return
+		}
+		if req.Limit > maxBatchVertices {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("limit %d exceeds the per-request maximum %d", req.Limit, maxBatchVertices))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.PageLookup(*req.Cursor, req.Limit))
 		return
 	}
 	if len(req.Vertices) > maxBatchVertices {

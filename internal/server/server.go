@@ -20,6 +20,8 @@
 package server
 
 import (
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"net"
@@ -217,6 +219,14 @@ type Server struct {
 	binaryConns  atomic.Int64  // currently connected binary producers
 	binaryFrames atomic.Uint64 // batch frames accepted
 
+	// instance identifies this process incarnation. Epochs are
+	// per-process, so a consumer that resumes across a daemon restart
+	// must not mistake the new process's epoch N for its own epoch N —
+	// the instance token is what lets it tell (docs/REPLICATION.md).
+	// Random, not persisted: a restart IS a new incarnation, even from
+	// a checkpoint.
+	instance string
+
 	mux      *http.ServeMux
 	started  atomic.Bool
 	stopOnce sync.Once
@@ -296,6 +306,7 @@ func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
 		shards:     make([]ingestShard, nShards),
 		maxPending: maxPending,
 		hub:        newWatchHub(uint64(ring)),
+		instance:   newInstanceToken(),
 		stop:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
@@ -303,6 +314,27 @@ func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
 	s.mux = s.routes()
 	return s
 }
+
+// newInstanceToken draws a fresh process-incarnation identity. It is
+// serving-plane metadata only — never part of the deterministic
+// partitioner state — so real randomness here does not threaten the
+// fixed-seed reproducibility contract.
+func newInstanceToken() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// time-derived token still changes across restarts, which is the
+		// only property consumers rely on.
+		return fmt.Sprintf("t-%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Instance returns this process incarnation's identity token. It is
+// exposed to clients as the X-Apartd-Instance response header and the
+// /v1/stats instance field; replicas compare it across requests to
+// detect upstream restarts that an epoch check alone could miss.
+func (s *Server) Instance() string { return s.instance }
 
 // Config returns the serving configuration (after any snapshot
 // overrides).
@@ -593,6 +625,13 @@ func (s *Server) Drain(maxTicks int) (int, error) {
 
 // Stats is the point-in-time summary served by GET /v1/stats.
 type Stats struct {
+	// Instance is the process-incarnation token (see Server.Instance);
+	// RoutingEpoch is the epoch of the currently published routing
+	// snapshot. Together they let a replica decide cheaply whether its
+	// upstream is still the process it bootstrapped from and how far
+	// behind it is running.
+	Instance       string  `json:"instance"`
+	RoutingEpoch   uint64  `json:"routing_epoch"`
 	Vertices       int     `json:"vertices"`
 	Edges          int     `json:"edges"`
 	K              int     `json:"k"`
@@ -637,6 +676,8 @@ func (s *Server) Stats() Stats {
 	if st.Edges > 0 {
 		st.CutRatio = float64(st.CutEdges) / float64(st.Edges)
 	}
+	st.Instance = s.instance
+	st.RoutingEpoch = s.routing.Load().Epoch
 	st.Ticks = s.ticks.Load()
 	st.Ingested = s.ingested.Load()
 	st.Applied = s.applied.Load()

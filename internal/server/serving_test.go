@@ -345,35 +345,57 @@ func TestWatchResyncAfterEviction(t *testing.T) {
 	}
 }
 
-// TestWatchResyncOnFutureFrom pins the daemon-restart scenario: epochs
+// TestWatchRejectsFutureFrom pins the daemon-restart scenario: epochs
 // reset to 1 on restart, so a consumer reconnecting with its old (now
-// far-future) from must get an immediate resync event — not a silent
-// hang until the new process's epoch counter catches up.
-func TestWatchResyncOnFutureFrom(t *testing.T) {
+// far-future) from must get an explicit 400 telling it to re-bootstrap —
+// not a silent hang until the new process's epoch counter catches up,
+// and not a resync event that would mask the restart. (Before this was
+// specified, the behavior was an immediate resync — ambiguous with
+// ordinary ring eviction, so a replica could not distinguish "I fell
+// behind" from "my upstream is a different incarnation".)
+func TestWatchRejectsFutureFrom(t *testing.T) {
 	s := testServer(t, nil)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	s.Enqueue(ringBatch(40))
 	s.TickNow() // this process is at epoch 2-ish; the consumer asks for 90000
 
-	sc, closeStream := watchLines(t, ts, "?from=90000")
+	resp, err := http.Get(ts.URL + "/v1/watch?from=90000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("400 body %q is not the documented {\"error\": ...} shape", body)
+	}
+	for _, want := range []string{"from=90000", "next epoch", "re-bootstrap"} {
+		if !strings.Contains(e.Error, want) {
+			t.Fatalf("error %q does not mention %q", e.Error, want)
+		}
+	}
+
+	// The boundary: from = next epoch is the ordinary caught-up case and
+	// must still be accepted (the stream waits rather than erroring).
+	sc, closeStream := watchLines(t, ts, fmt.Sprintf("?from=%d", s.Routing().Epoch+1))
 	defer closeStream()
-	got := make(chan watchEvent, 1)
-	go func() {
-		if sc.Scan() {
-			var ev watchEvent
-			if json.Unmarshal(sc.Bytes(), &ev) == nil {
-				got <- ev
-			}
-		}
-	}()
-	select {
-	case ev := <-got:
-		if !ev.Resync || ev.Epoch != s.Routing().Epoch {
-			t.Fatalf("event %+v, want resync at current epoch %d", ev, s.Routing().Epoch)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("future-from consumer hung instead of getting a resync")
+	s.Enqueue(graph.Batch{{Kind: graph.MutAddEdge, U: 700, V: 701}})
+	s.TickNow()
+	if !sc.Scan() {
+		t.Fatal("caught-up consumer got no event")
+	}
+	var ev watchEvent
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Resync || len(ev.Changes) == 0 {
+		t.Fatalf("caught-up consumer got %+v, want a live diff", ev)
 	}
 }
 

@@ -73,12 +73,13 @@ func (h *watchHub) wait() <-chan struct{} {
 // the caller cannot be served incrementally, needResync is true and it
 // must re-bootstrap from a full snapshot: either the epochs it needs
 // were already evicted (from < oldest retained), or it asks for an
-// epoch beyond the next one this hub will issue (from > next) — which
-// this process provably never published, the signature of a consumer
-// resuming across a daemon restart after epochs reset to 1. Waiting
-// would hang such a consumer forever. from == next is the normal
-// caught-up case: no diffs, no resync, wait for the next publish. The
-// returned slice aliases immutable diffs and may be used without the
+// epoch beyond the next one this hub will issue (from > next). The
+// HTTP handler pre-rejects the from > next case with a 400 — this
+// process provably never published such an epoch, the signature of a
+// consumer resuming across a daemon restart — so that arm survives here
+// only as defence for direct (in-process) callers. from == next is the
+// normal caught-up case: no diffs, no resync, wait for the next publish.
+// The returned slice aliases immutable diffs and may be used without the
 // hub's lock.
 func (h *watchHub) since(from uint64) (diffs []*EpochDiff, needResync bool) {
 	h.mu.Lock()
@@ -122,11 +123,16 @@ type watchEvent struct {
 // handleWatch streams epoch diffs as application/x-ndjson. ?from=N
 // resumes at epoch N (the first diff wanted, i.e. one past the epoch
 // the client's table is at); omitted or 0 means "only changes from
-// now on". When requested epochs are no longer retained the stream
-// starts with {"resync":true,"epoch":E}: re-read full state (batch
-// lookup, stamped with some epoch E' ≥ E), then keep consuming, skipping
-// diffs with epoch ≤ E'. The handler never touches the adaptation state
-// lock.
+// now on". A from beyond the next epoch this process will publish is a
+// 400: this daemon provably never produced the client's position, which
+// is the signature of a consumer resuming across a daemon restart after
+// epochs reset — it must re-bootstrap, and a silent resync here would
+// mask the restart (docs/API.md documents the error, docs/REPLICATION.md
+// the recovery). When requested epochs are merely no longer retained the
+// stream starts with {"resync":true,"epoch":E}: re-read full state
+// (batch lookup, stamped with some epoch E' ≥ E), then keep consuming,
+// skipping diffs with epoch ≤ E'. The handler never touches the
+// adaptation state lock.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	var from uint64
 	if raw := r.URL.Query().Get("from"); raw != "" {
@@ -136,6 +142,17 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		from = v
+	}
+	if next := s.hub.nextEpoch(); from > next {
+		// NOTE a benign race: a client that just read epoch E can ask
+		// from=E+1 while the publisher has stored the routing snapshot
+		// but not yet handed the hub its diff (next still E). The window
+		// is nanoseconds inside one publish; clients that see this 400
+		// should confirm against /v1/stats routing_epoch + instance
+		// before concluding the daemon restarted (the replica does).
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"from=%d is ahead of this daemon's next epoch %d; epochs are per-process, so the daemon has likely restarted — re-bootstrap from POST /v1/placements and resume from the epoch it returns", from, next))
+		return
 	}
 	if from == 0 {
 		// "Only changes from now on": resume at the hub's own next
