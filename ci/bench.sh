@@ -38,3 +38,8 @@ go test -run='^$' -bench 'BenchmarkCoreIteration' \
 # CI threshold).
 go test -run='^$' -bench 'BenchmarkPlacementUnderAdaptation|BenchmarkBatchLookupUnderAdaptation' \
   -benchtime="$BENCHTIME" -count="$COUNT" ./internal/server
+# Read-path heat guard: what workload-heat sampling adds to a single
+# placement lookup, recording off vs on. Uncontended and steady, so this
+# pair IS gated — the heat table must not slow the serving plane.
+go test -run='^$' -bench 'BenchmarkPlacementHeat' \
+  -benchtime="$BENCHTIME" -count="$COUNT" ./internal/server

@@ -28,8 +28,9 @@ echo "== generate stream"
 "$WORK/gengraph" -ba 20000:3 -stream -seed 7 -out "$WORK/ba.edges"
 EDGES=$(grep -vc '^#' "$WORK/ba.edges")
 
-echo "== start daemon (both planes)"
+echo "== start daemon (both planes, workload term active)"
 "$WORK/apartd" -addr "$ADDR" -binary-addr "$BINADDR" -k 4 -seed 7 -tick 20ms \
+  -workload-weight 4 -heat-sample 1 \
   >"$WORK/apartd.log" 2>&1 &
 PID=$!
 for _ in $(seq 1 100); do
@@ -65,6 +66,34 @@ echo "== replay over the binary plane (with read mix + watch)"
   -in "$WORK/ba.edges" -batch 2048 -conns 4 -read-qps 500 -watch 1 \
   -drain-wait 2m -quiet >"$WORK/binary.report"
 check_report binary "$WORK/binary.report"
+
+echo "== zipf flash-crowd read mix (read-only, shifting hotset)"
+"$WORK/loadgen" -target "http://$ADDR" -read-only -read-max-id 19999 \
+  -read-qps 2000 -read-batch 32 -read-zipf 1.2 -hotset-shift-every 2s \
+  -duration 5s -quiet >"$WORK/zipf.report"
+ZIPF=$(jq -r .read_zipf "$WORK/zipf.report")
+ZREADS=$(jq -r .reads "$WORK/zipf.report")
+ZERRS=$(jq -r .read_errors "$WORK/zipf.report")
+ZSHIFTS=$(jq -r .hotset_shifts "$WORK/zipf.report")
+if [ "$ZIPF" != 1.2 ] || [ "$ZREADS" -le 0 ] || [ "$ZERRS" != 0 ] \
+  || [ "$ZSHIFTS" -lt 1 ]; then
+  echo "zipf report violates the smoke contract:" >&2
+  cat "$WORK/zipf.report" >&2
+  exit 1
+fi
+echo "zipf OK: $ZREADS skewed reads, $ZSHIFTS hotset shift(s), zero errors"
+
+echo "== heat pipeline saw the skewed reads"
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+if [ "$(jq -r .heat_recording <<<"$STATS")" != true ] \
+  || [ "$(jq -r .heat_samples <<<"$STATS")" -le 0 ] \
+  || [ "$(jq -r .heat_folds <<<"$STATS")" -le 0 ]; then
+  echo "heat stats disagree with the skewed read mix: $STATS" >&2
+  exit 1
+fi
+echo "heat OK: $(jq -r .heat_samples <<<"$STATS") samples," \
+  "$(jq -r .heat_folds <<<"$STATS") folds," \
+  "$(jq -r .heat_hot_vertices <<<"$STATS") hot vertices"
 
 echo "== daemon absorbed both replays"
 STATS=$(curl -fsS "http://$ADDR/v1/stats")

@@ -94,6 +94,10 @@ func parseFlags(args []string) (*options, error) {
 		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle connection timeout")
 		watchTO     = fs.Duration("watch-write-timeout", 0, "per-event write deadline on GET /v1/watch streams; stalled consumers past it are dropped (0 = default 30s, -1ns = none)")
 		binIdleTO   = fs.Duration("binary-idle-timeout", 0, "disconnect a silent binary-plane connection after this long (0 = default 5m, -1ns = none)")
+		workloadW   = fs.Float64("workload-weight", 0, "workload term strength: weight each neighbour's migration vote by its decayed read heat (0 = paper-exact topology-only objective)")
+		heatHalf    = fs.Duration("heat-halflife", 0, "read-heat half-life, applied per tick (0 = default 30s)")
+		heatSample  = fs.Int("heat-sample", 0, "sample one in this many reads per heat shard, rounded down to a power of two (0 = default 64)")
+		heatRecord  = fs.Bool("heat-record", false, "sample read heat even with -workload-weight 0, for apartd_heat_* observability")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -116,6 +120,10 @@ func parseFlags(args []string) (*options, error) {
 	cfg.IngestShards = *shards
 	cfg.WatchWriteTimeout = *watchTO
 	cfg.BinaryIdleTimeout = *binIdleTO
+	cfg.WorkloadWeight = *workloadW
+	cfg.HeatHalfLife = *heatHalf
+	cfg.HeatSample = *heatSample
+	cfg.HeatRecord = *heatRecord
 	return &options{
 		addr:              *addr,
 		binaryAddr:        *binaryAddr,

@@ -83,6 +83,8 @@ type options struct {
 	readOnly     bool          // no mutation stream: drive reads for -duration
 	duration     time.Duration // read-only run length
 	readMaxID    int64         // read-only lookup key space is [0, readMaxID]
+	readZipf     float64       // Zipf exponent for read skew (0 = uniform)
+	hotsetShift  time.Duration // rotate the Zipf hotset every period (0 = static)
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -104,6 +106,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.readOnly, "read-only", false, "skip the mutation stream and drive reads for -duration; works against apartr replicas")
 	fs.DurationVar(&o.duration, "duration", 10*time.Second, "read-only run length")
 	fs.Int64Var(&o.readMaxID, "read-max-id", -1, "read-only lookup key space upper bound (required with -read-only)")
+	fs.Float64Var(&o.readZipf, "read-zipf", 0, "skew reads by a Zipf law with this exponent (> 1; 0 = uniform) — pairs with apartd -workload-weight")
+	fs.DurationVar(&o.hotsetShift, "hotset-shift-every", 0, "rotate the Zipf hotset to a new region of the ID space every period — a repeating flash crowd (0 = static hotset)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -133,6 +137,12 @@ func parseFlags(args []string) (*options, error) {
 	if o.readBatch < 1 {
 		o.readBatch = 1
 	}
+	if o.readZipf != 0 && o.readZipf <= 1 {
+		return nil, fmt.Errorf("-read-zipf %g: the Zipf exponent must be > 1 (or 0 for uniform reads)", o.readZipf)
+	}
+	if o.hotsetShift > 0 && o.readZipf == 0 {
+		return nil, fmt.Errorf("-hotset-shift-every needs -read-zipf — a uniform read mix has no hotset to shift")
+	}
 	return &o, nil
 }
 
@@ -149,6 +159,8 @@ type Report struct {
 	ReadErrors        uint64  `json:"read_errors"`
 	ReadP50Millis     float64 `json:"read_p50_ms"`
 	ReadP99Millis     float64 `json:"read_p99_ms"`
+	ReadZipf          float64 `json:"read_zipf"`
+	HotsetShifts      uint64  `json:"hotset_shifts"`
 	WatchStreams      int     `json:"watch_streams"`
 	WatchEvents       uint64  `json:"watch_events"`
 	DrainSeconds      float64 `json:"drain_seconds"`
@@ -163,6 +175,7 @@ type counters struct {
 	errors       atomic.Uint64
 	reads        atomic.Uint64
 	readErrors   atomic.Uint64
+	hotShifts    atomic.Uint64
 	watchEvents  atomic.Uint64
 	maxVertex    atomic.Int64 // highest vertex ID offered so far; read targets
 	lat          latencyHist
@@ -261,6 +274,8 @@ func run(args []string, stdout io.Writer) error {
 		ReadErrors:        cnt.readErrors.Load(),
 		ReadP50Millis:     cnt.lat.quantile(0.50),
 		ReadP99Millis:     cnt.lat.quantile(0.99),
+		ReadZipf:          opts.readZipf,
+		HotsetShifts:      cnt.hotShifts.Load(),
 		WatchStreams:      opts.watch,
 		WatchEvents:       cnt.watchEvents.Load(),
 		DrainSeconds:      time.Since(drainStart).Seconds(),
@@ -315,6 +330,8 @@ func runReadOnly(opts *options, httpc *http.Client, cnt *counters, stdout io.Wri
 		ReadErrors:     cnt.readErrors.Load(),
 		ReadP50Millis:  cnt.lat.quantile(0.50),
 		ReadP99Millis:  cnt.lat.quantile(0.99),
+		ReadZipf:       opts.readZipf,
+		HotsetShifts:   cnt.hotShifts.Load(),
 		WatchStreams:   opts.watch,
 		WatchEvents:    cnt.watchEvents.Load(),
 		Drained:        true, // nothing was ingested, nothing to drain
@@ -573,6 +590,49 @@ func binaryProducer(opts *options, batches <-chan graph.Batch, cnt *counters) er
 	return bw.Flush()
 }
 
+// readPicker draws the vertex IDs the read mix looks up: uniform over
+// [0, hi] by default, Zipf-skewed with -read-zipf. The Zipf hotset is
+// anchored at ID 0 (rank 0 = hottest); -hotset-shift-every rotates that
+// anchor to a new region of the ID space each period, modelling a flash
+// crowd whose focus keeps moving. The generator is rebuilt whenever the
+// observed key space grows (ingest keeps raising hi), which is cheap.
+type readPicker struct {
+	opts   *options
+	cnt    *counters
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	zipfHi int64 // key space the current generator was built for
+	start  time.Time
+	shifts uint64
+}
+
+func newReadPicker(opts *options, cnt *counters, rng *rand.Rand) *readPicker {
+	return &readPicker{opts: opts, cnt: cnt, rng: rng, zipfHi: -1, start: time.Now()}
+}
+
+func (p *readPicker) pick(hi int64) int64 {
+	if p.opts.readZipf == 0 {
+		return p.rng.Int63n(hi + 1)
+	}
+	if hi != p.zipfHi {
+		p.zipf = rand.NewZipf(p.rng, p.opts.readZipf, 1, uint64(hi))
+		p.zipfHi = hi
+	}
+	v := int64(p.zipf.Uint64())
+	if p.opts.hotsetShift > 0 {
+		n := uint64(time.Since(p.start) / p.opts.hotsetShift)
+		if n != p.shifts {
+			p.shifts = n
+			p.cnt.hotShifts.Store(n)
+		}
+		// Stride ≈ 2/5 of the key space: successive hotsets land far
+		// apart and don't revisit a region for several shifts.
+		stride := (hi+1)*2/5 + 1
+		v = (v + int64(n)*stride) % (hi + 1)
+	}
+	return v
+}
+
 // runReads issues placement lookups at -read-qps until ctx is
 // cancelled, recording latencies. Single mode hits
 // GET /v1/placement/{v}; batch mode posts -read-batch random vertices
@@ -580,6 +640,7 @@ func binaryProducer(opts *options, batches <-chan graph.Batch, cnt *counters) er
 // is a valid answer, not an error.
 func runReads(ctx context.Context, opts *options, httpc *http.Client, cnt *counters) {
 	rng := rand.New(rand.NewSource(1))
+	picker := newReadPicker(opts, cnt, rng)
 	interval := time.Duration(float64(time.Second) / opts.readQPS * float64(max(1, opts.readBatch)))
 	tick := time.NewTicker(maxDur(interval, 50*time.Microsecond))
 	defer tick.Stop()
@@ -599,7 +660,7 @@ func runReads(ctx context.Context, opts *options, httpc *http.Client, cnt *count
 			err  error
 		)
 		if opts.readBatch <= 1 {
-			resp, err = httpc.Get(fmt.Sprintf("%s/v1/placement/%d", opts.target, rng.Int63n(hi+1)))
+			resp, err = httpc.Get(fmt.Sprintf("%s/v1/placement/%d", opts.target, picker.pick(hi)))
 		} else {
 			var body bytes.Buffer
 			body.WriteString(`{"vertices":[`)
@@ -607,7 +668,7 @@ func runReads(ctx context.Context, opts *options, httpc *http.Client, cnt *count
 				if i > 0 {
 					body.WriteByte(',')
 				}
-				fmt.Fprintf(&body, "%d", rng.Int63n(hi+1))
+				fmt.Fprintf(&body, "%d", picker.pick(hi))
 			}
 			body.WriteString(`]}`)
 			resp, err = httpc.Post(opts.target+"/v1/placements", "application/json", &body)

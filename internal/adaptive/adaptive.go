@@ -63,6 +63,14 @@ type Config struct {
 	// churn instead of |V|. Off by default (full sweep, the paper-exact
 	// reference).
 	Incremental bool
+	// WorkloadWeight enables the workload term of the migration
+	// objective: each member of Γ(v) votes for its partition with weight
+	// 1 + WorkloadWeight·heat(w)/max(heat) instead of 1, where heat is
+	// the frozen per-vertex read-heat view installed via SetHeat. Zero
+	// (the default) keeps the paper-exact topology-only objective,
+	// byte-identical plans included. See internal/core/heat.go for the
+	// scoring model this mirrors.
+	WorkloadWeight float64
 	// Seed drives the move coins and tie-breaks.
 	Seed int64
 }
@@ -83,9 +91,17 @@ type Service struct {
 	booted    bool
 
 	// scratch
-	counts []int
-	tied   []partition.ID
-	quota  [][]int
+	counts  []int
+	countsF []float64
+	tied    []partition.ID
+	quota   [][]int
+
+	// Workload term (Config.WorkloadWeight, heat.go): the frozen heat
+	// view, its precomputed vote multiplier, and whether the next Plan
+	// still owes the frontier a hot-neighbourhood wake.
+	heat      []float32
+	heatScale float64
+	heatDirty bool
 
 	// Active-set scheduler state (Config.Incremental): active holds the
 	// frontier/parking bookkeeping shared with internal/core, colQuota
@@ -110,6 +126,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.CapacityFactor < 1.0 {
 		return nil, fmt.Errorf("adaptive: CapacityFactor must be ≥ 1.0, got %g", cfg.CapacityFactor)
+	}
+	if cfg.WorkloadWeight < 0 {
+		return nil, fmt.Errorf("adaptive: WorkloadWeight must be ≥ 0, got %g", cfg.WorkloadWeight)
 	}
 	if cfg.Interval < 1 {
 		cfg.Interval = 1
@@ -178,10 +197,14 @@ func (s *Service) Plan(view *bsp.View) []bsp.MigrationRequest {
 
 	if len(s.counts) != k {
 		s.counts = make([]int, k)
+		s.countsF = make([]float64, k)
 		s.quota = make([][]int, k)
 		for i := range s.quota {
 			s.quota[i] = make([]int, k)
 		}
+	}
+	if s.cfg.Incremental {
+		s.wakeHotNeighborhoods(g)
 	}
 
 	// Capacity knowledge: the broadcast from the previous barrier. On the
@@ -391,6 +414,9 @@ func (s *Service) planIncremental(g *graph.Graph, addr *partition.Assignment, ho
 // both directions count — a cut edge costs communication whichever way
 // messages flow (mentions reach celebrities along in-edges).
 func (s *Service) bestPartitions(g *graph.Graph, addr *partition.Assignment, v graph.VertexID, cur partition.ID) []partition.ID {
+	if s.heatScale != 0 {
+		return s.bestPartitionsHeat(g, addr, v, cur)
+	}
 	counts := s.counts
 	for i := range counts {
 		counts[i] = 0
@@ -456,6 +482,9 @@ func tally(addr *partition.Assignment, counts []int, nbrs []graph.VertexID) {
 // |Γ(v) ∩ P(i)| excluding the current partition — the fallback used by
 // the hot-spot drain, which must leave even when staying is optimal.
 func (s *Service) bestOtherPartitions(g *graph.Graph, addr *partition.Assignment, v graph.VertexID, cur partition.ID) []partition.ID {
+	if s.heatScale != 0 {
+		return s.bestOtherPartitionsHeat(g, addr, v, cur)
+	}
 	counts := s.counts
 	for i := range counts {
 		counts[i] = 0

@@ -80,6 +80,14 @@ type Config struct {
 	// stream before the heuristic adapts them; nil means hash placement
 	// with least-loaded fallback when the hashed partition is full.
 	Placer func(v graph.VertexID, k int) partition.ID
+	// WorkloadWeight scales the workload term of the migration utility:
+	// when > 0, a neighbour w's vote for its partition is weighted
+	// 1 + WorkloadWeight·heat(w)/max(heat), where heat is the decayed
+	// read-traffic accumulator fed by FoldHeat. 0 (the default) is the
+	// paper-exact objective — the heuristic stays byte-identical to a
+	// build without the feature even while heat is being folded. See
+	// heat.go.
+	WorkloadWeight float64
 	// BalanceEdges switches capacity accounting from vertex counts to
 	// edge endpoints (vertex degrees) — the paper's first future-work
 	// extension (Section 6). Quotas are then expressed in degree units
@@ -127,6 +135,9 @@ func (c *Config) validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: Parallelism must be ≥ 0, got %d", c.Parallelism)
+	}
+	if c.WorkloadWeight < 0 {
+		return fmt.Errorf("core: WorkloadWeight must be ≥ 0, got %g", c.WorkloadWeight)
 	}
 	return nil
 }
@@ -206,6 +217,14 @@ type Partitioner struct {
 	// byte-identical with tracking on or off.
 	trackChanges bool
 	changed      []graph.VertexID
+	// Workload heat (FoldHeat): heat is the dense decayed per-slot read
+	// accumulator, heatScale the precomputed WorkloadWeight/max(heat)
+	// vote multiplier (0 disables the weighted scorer entirely), and
+	// countsF the float vote scratch of the sequential path (each
+	// parallel shard owns its own).
+	heat      []float32
+	heatScale float64
+	countsF   []float64
 }
 
 type move struct {
@@ -227,14 +246,15 @@ func New(g *graph.Graph, asn *partition.Assignment, cfg Config) (*Partitioner, e
 	}
 	src := newPCG(cfg.Seed, 0)
 	p := &Partitioner{
-		cfg:    cfg,
-		g:      g,
-		asn:    asn,
-		rng:    rand.New(src),
-		rngSrc: src,
-		counts: make([]int, cfg.K),
-		tied:   make([]partition.ID, 0, cfg.K),
-		quota:  make([][]int, cfg.K),
+		cfg:     cfg,
+		g:       g,
+		asn:     asn,
+		rng:     rand.New(src),
+		rngSrc:  src,
+		counts:  make([]int, cfg.K),
+		countsF: make([]float64, cfg.K),
+		tied:    make([]partition.ID, 0, cfg.K),
+		quota:   make([][]int, cfg.K),
 	}
 	for i := range p.quota {
 		p.quota[i] = make([]int, cfg.K)
@@ -554,14 +574,26 @@ func (p *Partitioner) Step() IterationStats {
 }
 
 // bestPartitions returns the tied argmax destinations for v over
-// |Γ(v) ∩ P(i)|, or nil when the current partition is itself a candidate
-// (the heuristic preferentially stays, Section 2.1).
+// |Γ(v) ∩ P(i)| (heat-weighted when the workload term is active), or nil
+// when the current partition is itself a candidate (the heuristic
+// preferentially stays, Section 2.1).
 func (p *Partitioner) bestPartitions(v graph.VertexID, cur partition.ID) []partition.ID {
-	p.tied = bestPartitionsInto(p.g, p.asn, v, cur, p.counts, p.tied)
+	p.tied = p.scoreBest(v, cur, p.counts, p.countsF, p.tied)
 	if len(p.tied) == 0 {
 		return nil
 	}
 	return p.tied
+}
+
+// scoreBest dispatches between the paper-exact integer scorer and the
+// heat-weighted scorer (heat.go). The integer path is taken whenever the
+// workload term is inert — WorkloadWeight zero or no heat folded yet —
+// so the default configuration pays one predictable branch per decision.
+func (p *Partitioner) scoreBest(v graph.VertexID, cur partition.ID, counts []int, countsF []float64, tied []partition.ID) []partition.ID {
+	if p.heatScale != 0 {
+		return bestPartitionsHeatInto(p.g, p.asn, v, cur, p.heat, p.heatScale, countsF, tied)
+	}
+	return bestPartitionsInto(p.g, p.asn, v, cur, counts, tied)
 }
 
 // bestPartitionsInto is the buffer-parameterised form of bestPartitions,

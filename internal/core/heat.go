@@ -1,0 +1,215 @@
+package core
+
+import (
+	"xdgp/internal/graph"
+	"xdgp/internal/partition"
+)
+
+// This file implements the workload term of the migration utility
+// (Config.WorkloadWeight): an AWAPart-style extension that co-locates
+// vertices which are *read together*, not just connected.
+//
+// The serving plane samples read traffic off the lock-free lookup path
+// (internal/heat) and, at tick boundaries, folds the sampled vertex IDs
+// into the partitioner via FoldHeat. The fold maintains a dense decayed
+// per-slot accumulator: every fold first multiplies all entries by the
+// caller's decay factor (derived from the configured half-life), then
+// adds the sample weight for every sampled vertex. Between folds the
+// accumulator is immutable, so every iteration of the heuristic scores
+// against one frozen heat view — decisions stay a pure function of
+// (seed, graph, assignment, heat trace) and runs replay byte-identically
+// for a fixed fold schedule.
+//
+// Scoring: with the term active, a member w of Γ(v) votes for its
+// partition with weight 1 + WorkloadWeight·heat(w)/max(heat) instead of
+// 1. Cold regions (heat 0 everywhere in Γ(v)) therefore produce exactly
+// the integer votes of the paper's objective — including identical ties,
+// so tie-break shuffles consume identical randomness — and only hot
+// neighbourhoods are perturbed, pulling a hot vertex's co-read
+// neighbours toward its partition. Capacities and quotas are untouched:
+// the workload term changes which destination wins, never how much may
+// move.
+//
+// With Config.WorkloadWeight == 0 the fold still maintains the
+// accumulator (so operators can watch heat before enabling the term) but
+// heatScale stays 0, the integer scorer runs unconditionally, no frontier
+// wake happens, and no randomness is consumed: runs are byte-identical
+// to a build without the feature, mirroring the change-tracking
+// passivity contract.
+
+// heatFloor is the accumulator value below which a decayed entry snaps
+// to zero. It keeps long-cold vertices exactly cold (restoring the
+// integer-vote fast ties) and bounds HotVertices.
+const heatFloor = 1e-3
+
+// FoldHeat folds one tick's read samples into the decayed heat
+// accumulator: heat ← heat·decay, then heat[v] += sampleWeight for every
+// sampled vertex v (IDs beyond the current slot range are dropped).
+// decay must be in (0, 1]; sampleWeight is the number of reads each
+// sample stands for. It returns the accumulator's new maximum and the
+// number of vertices with non-zero heat.
+//
+// When the workload term is active (WorkloadWeight > 0) and the
+// incremental scheduler is on, the neighbourhoods of newly sampled
+// vertices are re-woken — their members' votes changed, so their
+// decisions must be re-examined. With WorkloadWeight == 0 the fold is
+// completely passive. Callers synchronize with Step/ApplyBatch
+// externally (the daemon holds its state lock).
+func (p *Partitioner) FoldHeat(decay float64, samples []graph.VertexID, sampleWeight float64) (max float64, hot int) {
+	slots := p.g.NumSlots()
+	if len(p.heat) < slots {
+		p.heat = append(p.heat, make([]float32, slots-len(p.heat))...)
+	}
+	for i, h := range p.heat {
+		if h == 0 {
+			continue
+		}
+		d := float64(h) * decay
+		if d < heatFloor {
+			d = 0
+		}
+		p.heat[i] = float32(d)
+	}
+	added := 0
+	for _, v := range samples {
+		if i := int(v); i >= 0 && i < len(p.heat) {
+			p.heat[i] += float32(sampleWeight)
+			added++
+		}
+	}
+	for _, h := range p.heat {
+		if h > 0 {
+			hot++
+			if m := float64(h); m > max {
+				max = m
+			}
+		}
+	}
+	p.setHeatScale(max)
+	if p.heatScale != 0 && added > 0 {
+		// Fresh heat changes decision inputs, so convergence must be
+		// re-proven — without this a converged daemon would never react
+		// to a flash crowd. Decay-only folds skip it: uniform decay
+		// cancels in the max-normalised votes, so nothing re-decides.
+		p.quiet = 0
+		if p.active != nil {
+			// Wake the sampled neighbourhoods: heat(w) feeds every
+			// neighbour of w's decision (and w's own). Dedupe first —
+			// hot vertices repeat in the sample stream and
+			// MarkNeighborhood walks Γ(v).
+			seen := make(map[graph.VertexID]struct{}, len(samples))
+			for _, v := range samples {
+				if _, dup := seen[v]; dup || !p.g.Has(v) {
+					continue
+				}
+				seen[v] = struct{}{}
+				p.active.MarkNeighborhood(p.g, v)
+			}
+		}
+	}
+	return max, hot
+}
+
+// setHeatScale derives the vote multiplier from the accumulator maximum:
+// votes are 1 + WorkloadWeight·heat/max, so scale = WorkloadWeight/max
+// (0 whenever the term is configured off or no heat exists).
+func (p *Partitioner) setHeatScale(max float64) {
+	if p.cfg.WorkloadWeight > 0 && max > 0 {
+		p.heatScale = p.cfg.WorkloadWeight / max
+	} else {
+		p.heatScale = 0
+	}
+}
+
+// HeatSnapshot returns a copy of the decayed heat accumulator (nil when
+// no heat has ever been folded). Indexed by vertex slot, like the
+// assignment table.
+func (p *Partitioner) HeatSnapshot() []float32 {
+	if p.heat == nil {
+		return nil
+	}
+	return append([]float32(nil), p.heat...)
+}
+
+// bestPartitionsHeatInto is the heat-weighted form of bestPartitionsInto:
+// member w of Γ(v) votes 1 + scale·heat(w) for its partition (scale is
+// WorkloadWeight/max(heat), precomputed by FoldHeat). Exactly like the
+// integer form it returns tied with the winners appended, or tied[:0]
+// when the current partition is among them. Vertices past the heat
+// slice's length (arrived since the last fold) are cold.
+func bestPartitionsHeatInto(g *graph.Graph, asn *partition.Assignment, v graph.VertexID, cur partition.ID, heat []float32, scale float64, countsF []float64, tied []partition.ID) []partition.ID {
+	vote := func(w graph.VertexID) float64 {
+		if i := int(w); i < len(heat) {
+			return 1 + scale*float64(heat[i])
+		}
+		return 1
+	}
+	for i := range countsF {
+		countsF[i] = 0
+	}
+	// Γ(v) includes v itself, but the self-vote stays 1 even when v is
+	// hot: a vertex is always co-located with itself, so inflating it
+	// would only anchor hot vertices in place — the opposite of pulling
+	// co-read neighbourhoods together.
+	countsF[cur]++
+	if nbrs, ok := g.CleanNeighbors(v); ok {
+		for _, w := range nbrs {
+			if pw := asn.Of(w); pw != partition.None {
+				countsF[pw] += vote(w)
+			}
+		}
+	} else {
+		var c graph.Cursor
+		c.Reset(g, v)
+		for {
+			chunk := c.NextChunk()
+			if chunk == nil {
+				break
+			}
+			for _, w := range chunk {
+				if pw := asn.Of(w); pw != partition.None {
+					countsF[pw] += vote(w)
+				}
+			}
+		}
+	}
+	if g.Directed() {
+		if nbrs, ok := g.CleanInNeighbors(v); ok {
+			for _, w := range nbrs {
+				if pw := asn.Of(w); pw != partition.None {
+					countsF[pw] += vote(w)
+				}
+			}
+		} else {
+			var c graph.Cursor
+			c.ResetIn(g, v)
+			for {
+				chunk := c.NextChunk()
+				if chunk == nil {
+					break
+				}
+				for _, w := range chunk {
+					if pw := asn.Of(w); pw != partition.None {
+						countsF[pw] += vote(w)
+					}
+				}
+			}
+		}
+	}
+	max := 0.0
+	for _, c := range countsF {
+		if c > max {
+			max = c
+		}
+	}
+	tied = tied[:0]
+	if countsF[cur] == max {
+		return tied
+	}
+	for i, c := range countsF {
+		if c == max {
+			tied = append(tied, partition.ID(i))
+		}
+	}
+	return tied
+}

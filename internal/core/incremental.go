@@ -198,7 +198,7 @@ func (sh *coreShard) decideFrontier(p *Partitioner, chunk []graph.VertexID, weig
 			continue
 		}
 		cur := p.asn.Of(v)
-		sh.tied = bestPartitionsInto(p.g, p.asn, v, cur, sh.counts, sh.tied)
+		sh.tied = p.scoreBest(v, cur, sh.counts, sh.countsF, sh.tied)
 		if len(sh.tied) == 0 {
 			p.active.Unschedule(v)
 			continue

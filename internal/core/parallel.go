@@ -36,6 +36,7 @@ type coreShard struct {
 	rng       *rand.Rand
 	src       *rand.PCG // rng's source; serializable for checkpoint/restore
 	counts    []int
+	countsF   []float64 // float vote scratch for the heat-weighted scorer
 	tied      []partition.ID
 	candBuf   []partition.ID   // arena backing every request's candidate list
 	reqs      [][]shardReq     // migration requests grouped by source partition
@@ -67,10 +68,11 @@ func newCoreShard(seed int64, idx, k int) *coreShard {
 	// per-shard generators stay a pure function of (seed, idx).
 	src := newPCG(seed, idx+1)
 	return &coreShard{
-		rng:    rand.New(src),
-		src:    src,
-		counts: make([]int, k),
-		reqs:   make([][]shardReq, k),
+		rng:     rand.New(src),
+		src:     src,
+		counts:  make([]int, k),
+		countsF: make([]float64, k),
+		reqs:    make([][]shardReq, k),
 	}
 }
 
@@ -92,7 +94,7 @@ func (sh *coreShard) decide(p *Partitioner, lo, hi int, weight func(graph.Vertex
 			continue // unwilling this iteration
 		}
 		cur := p.asn.Of(v)
-		sh.tied = bestPartitionsInto(p.g, p.asn, v, cur, sh.counts, sh.tied)
+		sh.tied = p.scoreBest(v, cur, sh.counts, sh.countsF, sh.tied)
 		if len(sh.tied) == 0 {
 			continue // current partition is among the candidates: stay
 		}

@@ -54,6 +54,11 @@ type State struct {
 	// Active is the frontier/parking state of the incremental scheduler;
 	// nil when Config.Incremental is off.
 	Active *activeset.State
+	// Heat is the decayed read-traffic accumulator by vertex slot (see
+	// FoldHeat); nil when no heat was ever folded. Restoring it
+	// mid-decay keeps workload-weighted runs byte-identical across a
+	// checkpoint/restore boundary.
+	Heat []float32
 }
 
 // ExportState captures the partitioner's mutable state. The result holds
@@ -77,6 +82,7 @@ func (p *Partitioner) ExportState() State {
 		a := p.active.Export()
 		st.Active = &a
 	}
+	st.Heat = p.HeatSnapshot()
 	return st
 }
 
@@ -138,6 +144,19 @@ func Restore(g *graph.Graph, asn *partition.Assignment, cfg Config, st State) (*
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		p.active = active
+	}
+	if st.Heat != nil {
+		if len(st.Heat) > g.NumSlots() {
+			return nil, fmt.Errorf("core: state has heat for %d slots, graph has %d", len(st.Heat), g.NumSlots())
+		}
+		p.heat = append([]float32(nil), st.Heat...)
+		max := 0.0
+		for _, h := range p.heat {
+			if m := float64(h); m > max {
+				max = m
+			}
+		}
+		p.setHeatScale(max)
 	}
 	return p, nil
 }

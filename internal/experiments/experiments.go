@@ -47,6 +47,14 @@ type Options struct {
 	// different (the RNG is consumed in a different order) but
 	// statistically equivalent.
 	Incremental bool
+	// WorkloadWeight sets core.Config.WorkloadWeight (and the adaptive
+	// service's mirror) on every partitioner the experiments build: the
+	// strength of the workload term that weights migration votes by
+	// read heat. The shipped experiments fold no heat, so 0 (the
+	// paper-exact objective) and >0 print identical figures unless a
+	// variant installs a heat trace; the knob exists so such variants
+	// share the standard harness.
+	WorkloadWeight float64
 }
 
 // coreParallelism resolves the shard count for core.Config.Parallelism:

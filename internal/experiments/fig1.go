@@ -40,6 +40,7 @@ func Figure1(opt Options) (*Result, error) {
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
 				cfg.Incremental = opt.Incremental
+				cfg.WorkloadWeight = opt.WorkloadWeight
 				p, err := core.New(g, partition.Hash(g, k), cfg)
 				if err != nil {
 					return nil, err

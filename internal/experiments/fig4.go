@@ -54,6 +54,7 @@ func Figure4(opt Options) (*Result, error) {
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
 				cfg.Incremental = opt.Incremental
+				cfg.WorkloadWeight = opt.WorkloadWeight
 				p, err := core.New(g, asn, cfg)
 				if err != nil {
 					return nil, err

@@ -40,6 +40,7 @@ func Figure5(opt Options) (*Result, error) {
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
 				cfg.Incremental = opt.Incremental
+				cfg.WorkloadWeight = opt.WorkloadWeight
 				p, err := core.New(g, asn, cfg)
 				if err != nil {
 					return nil, err

@@ -43,6 +43,7 @@ func Figure6(opt Options) (*Result, error) {
 				cfg.RecordEvery = 0
 				cfg.Parallelism = opt.coreParallelism()
 				cfg.Incremental = opt.Incremental
+				cfg.WorkloadWeight = opt.WorkloadWeight
 				p, err := core.New(g, partition.Hash(g, k), cfg)
 				if err != nil {
 					return nil, err

@@ -65,6 +65,7 @@ func Figure7(opt Options) (*Result, error) {
 	}
 	acfg := adaptive.DefaultConfig(opt.Seed)
 	acfg.Incremental = opt.Incremental
+	acfg.WorkloadWeight = opt.WorkloadWeight
 	svc, err := adaptive.New(acfg)
 	if err != nil {
 		return nil, err

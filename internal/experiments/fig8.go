@@ -45,6 +45,7 @@ func Figure8(opt Options) (*Result, error) {
 		if adapt {
 			acfg := adaptive.DefaultConfig(opt.Seed)
 			acfg.Incremental = opt.Incremental
+			acfg.WorkloadWeight = opt.WorkloadWeight
 			svc, err := adaptive.New(acfg)
 			if err != nil {
 				return nil, nil, 0, err

@@ -56,6 +56,7 @@ func Figure9(opt Options) (*Result, error) {
 		if adapt {
 			acfg := adaptive.DefaultConfig(opt.Seed)
 			acfg.Incremental = opt.Incremental
+			acfg.WorkloadWeight = opt.WorkloadWeight
 			svc, err := adaptive.New(acfg)
 			if err != nil {
 				return nil, err

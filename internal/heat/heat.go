@@ -1,0 +1,147 @@
+// Package heat collects a sampled, sharded trace of read traffic on the
+// serving plane.
+//
+// The serving read path answers a placement lookup in ~9ns from an
+// immutable routing snapshot, so the accounting added here must be close
+// to free. The design:
+//
+//   - The table is split into a power-of-two number of shards; a read of
+//     vertex v touches only shard v&mask, so concurrent readers of
+//     different vertices do not contend.
+//   - Record increments one per-shard atomic counter. That is the entire
+//     cost for most reads.
+//   - Every 2^sampleLog2-th read of a shard additionally stores the
+//     vertex ID into a fixed-size ring of atomic slots (power-of-two
+//     sampling). No locks, no allocation, no time source.
+//   - A single consumer (the daemon's tick loop) calls Drain at tick
+//     boundaries to collect the vertex IDs sampled since the previous
+//     drain. Each drained ID represents ~2^sampleLog2 reads; the caller
+//     folds them into its decayed per-vertex heat accumulator.
+//
+// If a shard takes more than ringSize samples between drains the oldest
+// samples are overwritten and the drain reports only the newest ringSize
+// (the counter still counts every read, so TotalReads stays exact).
+// Sampling error therefore biases heat toward recent reads under extreme
+// load, which is the desired behavior for a flash-crowd signal.
+//
+// The table is safe for concurrent Record from any number of goroutines.
+// Drain must be called from one goroutine at a time.
+package heat
+
+import (
+	"sync/atomic"
+
+	"xdgp/internal/graph"
+)
+
+const (
+	// numShards is the number of independent counter shards. Power of two.
+	numShards = 64
+	// ringSize is the per-shard capacity for samples between two drains.
+	// Power of two.
+	ringSize = 256
+	// DefaultSample is the default sampling interval: one in every
+	// DefaultSample reads of a shard is recorded with its vertex ID.
+	DefaultSample = 64
+)
+
+// shard is one independent slice of the table. Padded to a cache line so
+// hot shards do not false-share their counters.
+type shard struct {
+	reads atomic.Uint64 // total reads recorded on this shard
+	_     [56]byte      // pad reads to its own cache line
+	ring  [ringSize]atomic.Int64
+}
+
+// Table is a sharded, sampled read-traffic recorder. The zero value is
+// not usable; call New.
+type Table struct {
+	on         atomic.Bool
+	sampleLog2 uint
+	shards     [numShards]shard
+
+	// drain-side state, owned by the single Drain caller.
+	lastSample [numShards]uint64
+}
+
+// New returns a table that records one in every `sample` reads, rounded
+// down to a power of two. sample <= 0 selects DefaultSample; sample == 1
+// records every read (useful in tests). The table starts disabled.
+func New(sample int) *Table {
+	if sample <= 0 {
+		sample = DefaultSample
+	}
+	log2 := uint(0)
+	for 1<<(log2+1) <= sample {
+		log2++
+	}
+	t := &Table{sampleLog2: log2}
+	for i := range t.shards {
+		for j := range t.shards[i].ring {
+			t.shards[i].ring[j].Store(-1)
+		}
+	}
+	return t
+}
+
+// SetRecording enables or disables Record. While disabled, Record is a
+// single atomic load and branch.
+func (t *Table) SetRecording(on bool) { t.on.Store(on) }
+
+// Recording reports whether Record is currently accumulating.
+func (t *Table) Recording() bool { return t.on.Load() }
+
+// Sample returns the effective sampling interval (a power of two).
+func (t *Table) Sample() int { return 1 << t.sampleLog2 }
+
+// Record notes one read of vertex v. It is wait-free: one atomic load,
+// one atomic add, and — on one in every Sample() calls per shard — one
+// atomic store.
+func (t *Table) Record(v graph.VertexID) {
+	if t == nil || !t.on.Load() {
+		return
+	}
+	sh := &t.shards[uint64(v)&(numShards-1)]
+	n := sh.reads.Add(1)
+	if n&(1<<t.sampleLog2-1) != 0 {
+		return
+	}
+	sh.ring[(n>>t.sampleLog2)&(ringSize-1)].Store(int64(v))
+}
+
+// TotalReads returns the exact number of reads recorded since creation.
+func (t *Table) TotalReads() uint64 {
+	var sum uint64
+	for i := range t.shards {
+		sum += t.shards[i].reads.Load()
+	}
+	return sum
+}
+
+// Drain appends the vertex IDs sampled since the previous Drain to buf
+// and returns the extended slice. Each returned ID stands for ~Sample()
+// reads. Only the single tick-loop goroutine may call Drain. Samples that
+// were overwritten because a shard wrapped its ring between drains are
+// dropped (newest win).
+func (t *Table) Drain(buf []graph.VertexID) []graph.VertexID {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		cur := sh.reads.Load() >> t.sampleLog2
+		last := t.lastSample[i]
+		t.lastSample[i] = cur
+		if cur == last {
+			continue
+		}
+		lo := last
+		if cur-lo > ringSize {
+			lo = cur - ringSize
+		}
+		for m := lo + 1; m <= cur; m++ {
+			id := sh.ring[m&(ringSize-1)].Load()
+			if id >= 0 {
+				buf = append(buf, graph.VertexID(id))
+			}
+		}
+	}
+	return buf
+}

@@ -1,0 +1,138 @@
+package heat
+
+import (
+	"sync"
+	"testing"
+
+	"xdgp/internal/graph"
+)
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	tb := New(1)
+	for v := 0; v < 1000; v++ {
+		tb.Record(graph.VertexID(v))
+	}
+	if got := tb.TotalReads(); got != 0 {
+		t.Fatalf("disabled table counted %d reads", got)
+	}
+	if s := tb.Drain(nil); len(s) != 0 {
+		t.Fatalf("disabled table drained %d samples", len(s))
+	}
+}
+
+func TestNilTableIsSafe(t *testing.T) {
+	var tb *Table
+	tb.Record(7) // must not panic
+}
+
+func TestSampleRounding(t *testing.T) {
+	cases := map[int]int{-1: DefaultSample, 0: DefaultSample, 1: 1, 2: 2, 3: 2, 63: 32, 64: 64, 100: 64}
+	for in, want := range cases {
+		if got := New(in).Sample(); got != want {
+			t.Fatalf("New(%d).Sample() = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestEveryReadSampledAtSampleOne(t *testing.T) {
+	tb := New(1)
+	tb.SetRecording(true)
+	// All reads land on distinct shards and distinct vertices.
+	want := map[graph.VertexID]int{}
+	for v := 0; v < 200; v++ {
+		for r := 0; r <= v%3; r++ {
+			tb.Record(graph.VertexID(v))
+			want[graph.VertexID(v)]++
+		}
+	}
+	got := map[graph.VertexID]int{}
+	for _, v := range tb.Drain(nil) {
+		got[v]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d distinct vertices, want %d", len(got), len(want))
+	}
+	for v, n := range want {
+		if got[v] != n {
+			t.Fatalf("vertex %d sampled %d times, want %d", v, got[v], n)
+		}
+	}
+	// A second drain with no new reads yields nothing.
+	if s := tb.Drain(nil); len(s) != 0 {
+		t.Fatalf("second drain returned %d samples", len(s))
+	}
+}
+
+func TestSamplingIntervalHonored(t *testing.T) {
+	tb := New(8)
+	tb.SetRecording(true)
+	const reads = 8 * 40
+	for i := 0; i < reads; i++ {
+		tb.Record(64) // single shard, single vertex
+	}
+	if got := tb.TotalReads(); got != reads {
+		t.Fatalf("TotalReads = %d, want %d", got, reads)
+	}
+	s := tb.Drain(nil)
+	if len(s) != reads/8 {
+		t.Fatalf("drained %d samples, want %d", len(s), reads/8)
+	}
+	for _, v := range s {
+		if v != 64 {
+			t.Fatalf("sampled unexpected vertex %d", v)
+		}
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	tb := New(1)
+	tb.SetRecording(true)
+	// Way more samples than ringSize on one shard: IDs are congruent to
+	// the shard index mod numShards so they all collide.
+	const n = 4 * ringSize
+	for i := 0; i < n; i++ {
+		tb.Record(graph.VertexID(i * numShards))
+	}
+	s := tb.Drain(nil)
+	if len(s) != ringSize {
+		t.Fatalf("drained %d samples after overflow, want %d", len(s), ringSize)
+	}
+	// Only the newest ringSize samples survive.
+	seen := map[graph.VertexID]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i := n - ringSize; i < n; i++ {
+		if !seen[graph.VertexID(i*numShards)] {
+			t.Fatalf("newest sample %d missing after overflow", i*numShards)
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tb := New(4)
+	tb.SetRecording(true)
+	const (
+		workers = 8
+		each    = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tb.Record(graph.VertexID((w*each + i) % 512))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tb.TotalReads(); got != workers*each {
+		t.Fatalf("TotalReads = %d, want %d", got, workers*each)
+	}
+	for _, v := range tb.Drain(nil) {
+		if v < 0 || v >= 512 {
+			t.Fatalf("drained out-of-range vertex %d", v)
+		}
+	}
+}

@@ -225,6 +225,7 @@ func (s *Server) BatchLookup(ids []graph.VertexID) BatchResponse {
 			Vertex:    int64(v),
 			Partition: int64(snap.Table.Of(v)),
 		}
+		s.heatTable.Record(v)
 	}
 	s.batchRequests.Add(1)
 	s.batchLookups.Add(uint64(len(ids)))
@@ -273,6 +274,9 @@ func (s *Server) PageLookup(cursor, limit int64) PageResponse {
 			Vertex:    int64(v),
 			Partition: int64(p),
 		})
+		// Replica-originated bootstrap pages are read traffic too: a
+		// replica serving a flash crowd re-pages through it on resync.
+		s.heatTable.Record(v)
 	})
 	if end < slots {
 		resp.NextCursor = end

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -51,6 +52,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("apartd_watch_evicted_total", "Epoch diffs dropped off the retention ring (watch lag ceiling).", evicted)
 	counter("apartd_batch_requests_total", "POST /v1/placements requests served.", s.batchRequests.Load())
 	counter("apartd_batch_lookups_total", "Vertex lookups served by batch requests.", s.batchLookups.Load())
+
+	// Workload-heat plane: all O(1) mirrors of the last tick fold.
+	heatRec := 0.0
+	if s.heatTable.Recording() {
+		heatRec = 1
+	}
+	gauge("apartd_heat_recording", "1 when serving-plane reads are being sampled into the heat table.", heatRec)
+	gauge("apartd_heat_workload_weight", "Strength of the workload term in the migration objective (0 = topology-only).", s.cfg.WorkloadWeight)
+	counter("apartd_heat_reads_total", "Serving-plane reads counted by the heat table (exact, pre-sampling).", s.heatTable.TotalReads())
+	counter("apartd_heat_samples_total", "Sampled reads folded into the partitioner at tick boundaries.", s.heatSamples.Load())
+	counter("apartd_heat_folds_total", "Tick-boundary heat folds executed.", s.heatFolds.Load())
+	gauge("apartd_heat_hot_vertices", "Vertices with non-zero decayed heat after the last fold.", float64(s.heatHot.Load()))
+	gauge("apartd_heat_max", "Maximum decayed per-vertex heat after the last fold.", math.Float64frombits(s.heatMaxBits.Load()))
 
 	pending, age := s.PendingMutations()
 	gauge("apartd_ingest_pending", "Mutations waiting for the next tick.", float64(pending))

@@ -33,6 +33,7 @@ import (
 
 	"xdgp/internal/core"
 	"xdgp/internal/graph"
+	"xdgp/internal/heat"
 	"xdgp/internal/partition"
 	"xdgp/internal/snapshot"
 )
@@ -97,6 +98,28 @@ type Config struct {
 	// this long (the producer redials). 0 means
 	// DefaultBinaryIdleTimeout; negative disables the deadline.
 	BinaryIdleTimeout time.Duration
+	// WorkloadWeight enables the workload-aware migration objective
+	// (core.Config.WorkloadWeight): read traffic observed by the serving
+	// plane is folded into the partitioner every tick and weights each
+	// neighbour's vote by its decayed heat. 0 (the default) keeps the
+	// paper-exact topology-only objective, byte-identical to previous
+	// releases. Setting it > 0 also turns heat recording on.
+	WorkloadWeight float64
+	// HeatHalfLife is the half-life of the read-heat accumulator: after
+	// this much idle time a vertex's heat halves. The decay is applied
+	// per tick (factor 0.5^(TickEvery/HeatHalfLife)), so the accumulator
+	// is deterministic in ticks, not wall-clock. 0 means
+	// DefaultHeatHalfLife.
+	HeatHalfLife time.Duration
+	// HeatSample is the read-sampling interval: one in this many reads
+	// per heat shard records its vertex ID (rounded down to a power of
+	// two). 0 means heat.DefaultSample; 1 records every read (tests).
+	HeatSample int
+	// HeatRecord forces heat recording on even with WorkloadWeight == 0,
+	// so operators can watch apartd_heat_* metrics before enabling the
+	// objective. Recording is passive: WorkloadWeight == 0 assignments
+	// stay byte-identical with it on or off.
+	HeatRecord bool
 }
 
 // DefaultMaxPending is the ingest-queue cap used when Config.MaxPending
@@ -113,6 +136,11 @@ const MaxIngestShards = 32
 // Config.WatchWriteTimeout is zero. 30 s tolerates long consumer GC
 // pauses while still reclaiming handlers from dead peers.
 const DefaultWatchWriteTimeout = 30 * time.Second
+
+// DefaultHeatHalfLife is the read-heat half-life used when
+// Config.HeatHalfLife is zero: 30 s forgets a flash crowd within a few
+// minutes of it moving on while smoothing over single-tick read bursts.
+const DefaultHeatHalfLife = 30 * time.Second
 
 // DefaultConfig returns the daemon's standard setting: the paper's
 // heuristic parameters, incremental scheduling, a 250 ms coalescing tick
@@ -148,6 +176,15 @@ func (c Config) validate() error {
 	if c.IngestShards < 0 {
 		return fmt.Errorf("server: IngestShards must be ≥ 0, got %d", c.IngestShards)
 	}
+	if c.WorkloadWeight < 0 {
+		return fmt.Errorf("server: WorkloadWeight must be ≥ 0, got %g", c.WorkloadWeight)
+	}
+	if c.HeatHalfLife < 0 {
+		return fmt.Errorf("server: HeatHalfLife must be ≥ 0, got %v", c.HeatHalfLife)
+	}
+	if c.HeatSample < 0 {
+		return fmt.Errorf("server: HeatSample must be ≥ 0, got %d", c.HeatSample)
+	}
 	return nil
 }
 
@@ -158,6 +195,7 @@ func (c Config) coreConfig() core.Config {
 	cc.Parallelism = c.Parallelism
 	cc.Incremental = c.Incremental
 	cc.ConvergenceWindow = c.ConvergenceWindow
+	cc.WorkloadWeight = c.WorkloadWeight
 	cc.RecordEvery = 0
 	cc.MaxIterations = math.MaxInt32 // Step-driven; Run's bound is unused
 	return cc
@@ -195,6 +233,20 @@ type Server struct {
 	ckptFailures atomic.Uint64 // periodic/drain checkpoint attempts that failed
 	lastBatch    atomic.Int64  // size of the last coalesced batch
 	lastCkptUnx  atomic.Int64  // unix seconds of the last checkpoint
+
+	// The workload-heat plane: heatTable samples read traffic off the
+	// lock-free lookup paths (heat.Record is wait-free; nil-safe when
+	// recording never got enabled), heatBuf is the tick loop's reusable
+	// drain buffer, heatDecay the per-tick decay factor derived from
+	// HeatHalfLife/TickEvery. heatMaxBits/heatHot mirror the
+	// accumulator's state for /metrics and /v1/stats.
+	heatTable   *heat.Table
+	heatBuf     []graph.VertexID
+	heatDecay   float64
+	heatFolds   atomic.Uint64 // tick-boundary folds executed
+	heatSamples atomic.Uint64 // sampled reads folded into the partitioner
+	heatMaxBits atomic.Uint64 // float64 bits of the accumulator maximum
+	heatHot     atomic.Int64  // vertices with non-zero heat after the last fold
 
 	// The serving plane: routing holds the current epoch snapshot (all
 	// read endpoints load it with one atomic pointer read and never take
@@ -273,6 +325,7 @@ func Restore(cfg Config, snap *snapshot.Snapshot) (*Server, error) {
 	cfg.Parallelism = snap.Params.Parallelism
 	cfg.Incremental = snap.Params.Incremental
 	cfg.ConvergenceWindow = snap.Params.ConvergenceWindow
+	cfg.WorkloadWeight = snap.Params.WorkloadWeight
 	s := newServer(cfg, coreCfg, p)
 	s.ticks.Store(snap.Meta.Ticks)
 	s.ingested.Store(snap.Meta.MutationsIngested)
@@ -305,14 +358,33 @@ func newServer(cfg Config, coreCfg core.Config, p *core.Partitioner) *Server {
 		part:       p,
 		shards:     make([]ingestShard, nShards),
 		maxPending: maxPending,
+		heatTable:  heat.New(cfg.HeatSample),
+		heatDecay:  heatDecayPerTick(cfg),
 		hub:        newWatchHub(uint64(ring)),
 		instance:   newInstanceToken(),
 		stop:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
+	s.heatTable.SetRecording(cfg.WorkloadWeight > 0 || cfg.HeatRecord)
 	s.publishInitialRouting()
 	s.mux = s.routes()
 	return s
+}
+
+// heatDecayPerTick derives the per-tick heat decay factor
+// 0.5^(TickEvery/HeatHalfLife). The accumulator decays in tick units —
+// deterministic for a fixed tick count — so the half-life is honoured at
+// the configured tick rate, not against a wall clock.
+func heatDecayPerTick(cfg Config) float64 {
+	half := cfg.HeatHalfLife
+	if half == 0 {
+		half = DefaultHeatHalfLife
+	}
+	tick := cfg.TickEvery
+	if tick <= 0 {
+		tick = 250 * time.Millisecond // DefaultConfig's tick, for tests that never Start
+	}
+	return math.Exp2(-tick.Seconds() / half.Seconds())
 }
 
 // newInstanceToken draws a fresh process-incarnation identity. It is
@@ -481,6 +553,12 @@ func (s *Server) TickNow() TickResult {
 		// own.
 		s.publishRouting()
 	}
+	// Fold the tick's sampled read traffic into the partitioner's heat
+	// accumulator (after the batch, so heat covers any slots it added).
+	// With WorkloadWeight > 0 fresh samples re-open convergence — hot
+	// neighbourhoods re-decide against the new heat; with the objective
+	// off the fold only maintains the observability accumulator.
+	s.foldHeatLocked()
 	converged := s.part.Converged()
 	s.mu.Unlock()
 
@@ -528,6 +606,28 @@ func (s *Server) TickNow() TickResult {
 	}
 	return res
 }
+
+// foldHeatLocked drains the heat table and folds the samples into the
+// partitioner. Caller holds mu. A no-op until recording is enabled; once
+// it is, every tick folds (decay advances even through read-silent
+// ticks, so heat cools when traffic stops).
+func (s *Server) foldHeatLocked() {
+	if !s.heatTable.Recording() {
+		return
+	}
+	s.heatBuf = s.heatTable.Drain(s.heatBuf[:0])
+	max, hot := s.part.FoldHeat(s.heatDecay, s.heatBuf, float64(s.heatTable.Sample()))
+	s.heatFolds.Add(1)
+	s.heatSamples.Add(uint64(len(s.heatBuf)))
+	s.heatMaxBits.Store(math.Float64bits(max))
+	s.heatHot.Store(int64(hot))
+}
+
+// RecordRead notes one serving-plane read of v in the heat table. It is
+// called on every placement answered — single, batch and replica page
+// lookups — and is wait-free (one atomic add when recording, one atomic
+// load when not), preserving the lock-free read path's latency.
+func (s *Server) RecordRead(v graph.VertexID) { s.heatTable.Record(v) }
 
 // Checkpoint captures the full daemon state and atomically writes it to
 // path (cfg.CheckpointPath when path is empty). Safe to call while
@@ -650,6 +750,16 @@ type Stats struct {
 	Checkpoints    uint64  `json:"checkpoints"`
 	Incremental    bool    `json:"incremental"`
 	Parallelism    int     `json:"parallelism"`
+	// Workload-heat plane: the objective's strength, whether reads are
+	// being sampled, cumulative samples folded, folds executed, and the
+	// accumulator's current shape (vertices with non-zero heat and the
+	// maximum decayed heat value).
+	WorkloadWeight float64 `json:"workload_weight"`
+	HeatRecording  bool    `json:"heat_recording"`
+	HeatSamples    uint64  `json:"heat_samples"`
+	HeatFolds      uint64  `json:"heat_folds"`
+	HeatHotVerts   int     `json:"heat_hot_vertices"`
+	HeatMax        float64 `json:"heat_max"`
 }
 
 // Stats assembles the current summary. Cut statistics scan every edge
@@ -684,6 +794,12 @@ func (s *Server) Stats() Stats {
 	st.Rejected = s.rejected.Load()
 	st.Checkpoints = s.checkpoints.Load()
 	st.Pending, _ = s.PendingMutations()
+	st.WorkloadWeight = s.cfg.WorkloadWeight
+	st.HeatRecording = s.heatTable.Recording()
+	st.HeatSamples = s.heatSamples.Load()
+	st.HeatFolds = s.heatFolds.Load()
+	st.HeatHotVerts = int(s.heatHot.Load())
+	st.HeatMax = math.Float64frombits(s.heatMaxBits.Load())
 	return st
 }
 
@@ -696,6 +812,7 @@ func (s *Server) Stats() Stats {
 // assignment.
 func (s *Server) Placement(v graph.VertexID) (partition.ID, bool) {
 	p := s.routing.Load().Table.Of(v)
+	s.heatTable.Record(v)
 	return p, p != partition.None
 }
 

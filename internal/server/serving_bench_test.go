@@ -101,6 +101,30 @@ func BenchmarkPlacementUnderAdaptation(b *testing.B) {
 	})
 }
 
+// BenchmarkPlacementHeat isolates what read-heat sampling adds to one
+// placement lookup: the same converged daemon, no churn, heat recording
+// off (one atomic load to see it's off) vs on (one counter add, and
+// every sampleth read stores into the shard ring). Uncontended and
+// steady, so unlike the adaptation benchmarks above this pair IS gated
+// by cmd/benchgate — the heat table must not slow the serving plane.
+//
+//	go test -run=NONE -bench PlacementHeat ./internal/server
+func BenchmarkPlacementHeat(b *testing.B) {
+	const n = 10000
+	run := func(b *testing.B, record bool) {
+		s := newBenchServer(b, n)
+		s.heatTable.SetRecording(record)
+		b.ResetTimer()
+		v := graph.VertexID(0)
+		for i := 0; i < b.N; i++ {
+			s.Placement(v)
+			v = (v + 37) % n
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkBatchLookupUnderAdaptation measures the batch read path
 // (1000 IDs per call, one snapshot per call) under the same active
 // churn; ns/op is per batch, not per vertex.

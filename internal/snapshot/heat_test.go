@@ -1,0 +1,128 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"xdgp/internal/core"
+	"xdgp/internal/graph"
+)
+
+// heatTrace is a deterministic synthetic read trace: tick t samples a
+// small rotating window of vertices, like a crawling hotset.
+func heatTrace(tick, slots int) []graph.VertexID {
+	base := (tick * 17) % slots
+	samples := make([]graph.VertexID, 0, 12)
+	for i := 0; i < 12; i++ {
+		samples = append(samples, graph.VertexID((base+i*3)%slots))
+	}
+	return samples
+}
+
+// TestSnapshotHeatRoundTrip is the heat-table acceptance test: a
+// workload-weighted run checkpointed mid-decay and restored from the
+// file must produce byte-identical subsequent assignments — the decayed
+// float32 accumulator round-trips bit-exactly through format v3.
+func TestSnapshotHeatRoundTrip(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+		incremental bool
+	}{
+		{"sequential-full", 1, false},
+		{"parallel2-incremental", 2, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			const ticks, checkpointAt, steps = 12, 5, 3
+			run := func(restart bool) *core.Partitioner {
+				cfg := testConfig(mode.parallelism, mode.incremental)
+				cfg.WorkloadWeight = 6
+				p := newRunningPartitioner(t, cfg)
+				var file bytes.Buffer
+				for tick := 0; tick < ticks; tick++ {
+					p.FoldHeat(0.8, heatTrace(tick, p.Graph().NumSlots()), 64)
+					for s := 0; s < steps; s++ {
+						p.Step()
+					}
+					if restart && tick == checkpointAt {
+						snap, err := Capture(p, cfg, Meta{Ticks: uint64(tick + 1)})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := Write(&file, snap); err != nil {
+							t.Fatal(err)
+						}
+						loaded, err := Read(bytes.NewReader(file.Bytes()))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if loaded.Params.WorkloadWeight != 6 {
+							t.Fatalf("restored WorkloadWeight = %g, want 6", loaded.Params.WorkloadWeight)
+						}
+						if len(loaded.Core.Heat) == 0 {
+							t.Fatal("restored snapshot carries no heat accumulator")
+						}
+						p, err = loaded.NewPartitioner()
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				return p
+			}
+			straight, restarted := run(false), run(true)
+			sa, ra := straight.Assignment().Table(), restarted.Assignment().Table()
+			if len(sa) != len(ra) {
+				t.Fatalf("table sizes diverged: %d vs %d", len(sa), len(ra))
+			}
+			for i := range sa {
+				if sa[i] != ra[i] {
+					t.Fatalf("assignment diverged at slot %d after heat restore: %d vs %d", i, sa[i], ra[i])
+				}
+			}
+			sh, rh := straight.HeatSnapshot(), restarted.HeatSnapshot()
+			if len(sh) != len(rh) {
+				t.Fatalf("heat lengths diverged: %d vs %d", len(sh), len(rh))
+			}
+			for i := range sh {
+				if math.Float32bits(sh[i]) != math.Float32bits(rh[i]) {
+					t.Fatalf("heat diverged at slot %d: %x vs %x", i, sh[i], rh[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotReadsVersion2 pins backward compatibility: a hand-built v2
+// byte stream (no WorkloadWeight, no heat section) must load with the
+// workload term zeroed.
+func TestSnapshotReadsVersion2(t *testing.T) {
+	cfg := testConfig(1, false)
+	p := newRunningPartitioner(t, cfg)
+	for i := 0; i < 5; i++ {
+		p.Step()
+	}
+	snap, err := Capture(p, cfg, Meta{Ticks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v3 bytes.Buffer
+	if err := Write(&v3, snap); err != nil {
+		t.Fatal(err)
+	}
+	v2 := downgradeToV2(t, v3.Bytes())
+	loaded, err := Read(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("reading v2 snapshot: %v", err)
+	}
+	if loaded.Params.WorkloadWeight != 0 {
+		t.Fatalf("v2 snapshot restored WorkloadWeight %g, want 0", loaded.Params.WorkloadWeight)
+	}
+	if loaded.Core.Heat != nil {
+		t.Fatalf("v2 snapshot restored a heat accumulator (%d entries)", len(loaded.Core.Heat))
+	}
+	if _, err := loaded.NewPartitioner(); err != nil {
+		t.Fatalf("restoring v2 snapshot: %v", err)
+	}
+}

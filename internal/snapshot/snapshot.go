@@ -8,12 +8,13 @@
 // Format (little-endian throughout):
 //
 //	[8]byte  magic "XDGPSNAP"
-//	u32      version (currently 2)
+//	u32      version (currently 3)
 //	params   fixed-width algorithm parameters (see Params)
 //	meta     daemon counters (see Meta)
 //	u64 len + graph payload      (graph.EncodeBinary)
 //	i32 k, u32 slots, slots×i32  assignment table (partition.None = -1)
-//	core     counters, serialized PCG states, optional active-set state
+//	core     counters, serialized PCG states, optional active-set state,
+//	         optional heat accumulator (v3+)
 //	u32      CRC-32 (IEEE) of every preceding byte
 //
 // The trailing checksum makes torn or bit-rotted files fail loudly on
@@ -39,13 +40,16 @@ import (
 )
 
 // Magic identifies a snapshot file; Version is the current format
-// revision. Readers reject other magics and any non-current version:
-// v1 checkpoints (pre-CSR-arena graph payload) are NOT restorable —
-// drain v1 daemons and replay their streams when upgrading across the
-// storage change.
+// revision. Readers accept the current version and v2 (a v2 file simply
+// has no workload term: WorkloadWeight 0, no heat accumulator), but
+// reject v1: those checkpoints (pre-CSR-arena graph payload) are NOT
+// restorable — drain v1 daemons and replay their streams when upgrading
+// across the storage change.
 const (
 	Magic   = "XDGPSNAP"
-	Version = 2 // v2: graph payload switched to the CSR-arena + overlay codec
+	Version = 3 // v3: adds Params.WorkloadWeight and the core heat accumulator
+	// minReadVersion is the oldest version Read still understands.
+	minReadVersion = 2
 )
 
 // maxSectionBytes bounds any length-prefixed section a reader will
@@ -69,6 +73,9 @@ type Params struct {
 	RecordEvery       int
 	BalanceEdges      bool
 	DisableQuotas     bool
+	// WorkloadWeight is the workload term's strength (core.Config); 0 in
+	// every snapshot written before format v3.
+	WorkloadWeight float64
 }
 
 // ParamsOf derives the serializable parameters from a live partitioner's
@@ -86,6 +93,7 @@ func ParamsOf(cfg core.Config, resolvedParallelism int) Params {
 		RecordEvery:       cfg.RecordEvery,
 		BalanceEdges:      cfg.BalanceEdges,
 		DisableQuotas:     cfg.DisableQuotas,
+		WorkloadWeight:    cfg.WorkloadWeight,
 	}
 }
 
@@ -105,6 +113,7 @@ func (p Params) Config() core.Config {
 		RecordEvery:       p.RecordEvery,
 		BalanceEdges:      p.BalanceEdges,
 		DisableQuotas:     p.DisableQuotas,
+		WorkloadWeight:    p.WorkloadWeight,
 	}
 }
 
@@ -181,6 +190,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	putI64(&buf, int64(s.Params.RecordEvery))
 	putBool(&buf, s.Params.BalanceEdges)
 	putBool(&buf, s.Params.DisableQuotas)
+	putF64(&buf, s.Params.WorkloadWeight)
 
 	// Meta.
 	putU64(&buf, s.Meta.Ticks)
@@ -221,6 +231,15 @@ func Write(w io.Writer, s *Snapshot) error {
 			putVertexList(&buf, list)
 		}
 	}
+	// Heat accumulator (v3): mid-decay per-slot read heat, so a restored
+	// workload-weighted run continues byte-identically.
+	putBool(&buf, s.Core.Heat != nil)
+	if s.Core.Heat != nil {
+		putU32(&buf, uint32(len(s.Core.Heat)))
+		for _, h := range s.Core.Heat {
+			putU32(&buf, math.Float32bits(h))
+		}
+	}
 
 	putU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
 	_, err := w.Write(buf.Bytes())
@@ -245,8 +264,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x) — truncated or corrupt", sum, got)
 	}
 	d := &decoder{buf: body[len(Magic):]}
-	if v := d.u32(); v != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (supported: %d)", v, Version)
+	version := d.u32()
+	if version < minReadVersion || version > Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (supported: %d–%d)", version, minReadVersion, Version)
 	}
 
 	var s Snapshot
@@ -261,6 +281,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 	s.Params.RecordEvery = int(d.i64())
 	s.Params.BalanceEdges = d.bool()
 	s.Params.DisableQuotas = d.bool()
+	if version >= 3 {
+		s.Params.WorkloadWeight = d.f64()
+	}
 
 	s.Meta.Ticks = d.u64()
 	s.Meta.MutationsIngested = d.u64()
@@ -321,6 +344,18 @@ func Read(r io.Reader) (*Snapshot, error) {
 			st.Parked = append(st.Parked, d.vertexList())
 		}
 		s.Core.Active = &st
+	}
+	if version >= 3 && d.bool() {
+		nHeat := d.u32()
+		if d.err == nil && uint64(nHeat)*4 > uint64(len(d.buf)) {
+			d.err = fmt.Errorf("heat section claims %d entries, %d bytes remain", nHeat, len(d.buf))
+		}
+		if d.err == nil {
+			s.Core.Heat = make([]float32, nHeat)
+			for i := range s.Core.Heat {
+				s.Core.Heat[i] = math.Float32frombits(d.u32())
+			}
+		}
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("snapshot: %w", d.err)
