@@ -26,6 +26,20 @@
 //	curl -X POST localhost:8080/v1/checkpoint
 //	apartd -addr :8080 -restore /var/lib/apartd/state.snap
 //
+// Cluster mode runs N daemons as one logical partitioner: each shard
+// listens for its peers on -cluster-addr, exchanges migration decisions
+// in barrier rounds every tick, and computes byte-identical placements
+// to a single process running -parallel N. Every shard ingests
+// mutations and serves reads; all algorithm flags (and -shards) must
+// agree across the cluster, which the RPC handshake enforces. A crashed
+// shard rejoins by restoring its checkpoint and replaying the missed
+// rounds from its peers' journals (docs/OPERATIONS.md, "Running a
+// cluster"):
+//
+//	apartd -addr :8080 -cluster-addr :9300 \
+//	    -peers 127.0.0.1:9300,127.0.0.1:9301,127.0.0.1:9302 \
+//	    -shard-id 0 -shards 3
+//
 // On SIGTERM/SIGINT the daemon stops accepting requests, absorbs the
 // pending mutation queue, writes a final checkpoint (when -checkpoint is
 // set) and exits. docs/API.md is the complete endpoint reference;
@@ -38,14 +52,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"xdgp/internal/cluster"
 	"xdgp/internal/server"
 	"xdgp/internal/snapshot"
 )
@@ -61,6 +78,8 @@ func main() {
 type options struct {
 	addr              string
 	binaryAddr        string
+	clusterAddr       string
+	peers             []string
 	restore           string
 	drainTicks        int
 	readHeaderTimeout time.Duration
@@ -80,7 +99,7 @@ func parseFlags(args []string) (*options, error) {
 		capFactor   = fs.Float64("capacity", 1.10, "capacity factor over balanced load")
 		parallel    = fs.Int("parallel", 1, "shards for the re-adaptation sweep (0 = one per CPU, 1 = sequential)")
 		incremental = fs.Bool("incremental", true, "active-set scheduler (recommended for streaming; full sweep when off)")
-		tick        = fs.Duration("tick", 250*time.Millisecond, "mutation-coalescing tick period")
+		tick        = fs.Duration("tick", 250*time.Millisecond, "mutation-coalescing tick period (0 = manual mode: POST /v1/tick drives every tick)")
 		maxSteps    = fs.Int("max-steps", 40, "heuristic iteration budget per tick")
 		window      = fs.Int("window", 30, "consecutive quiet iterations to declare convergence")
 		watchRing   = fs.Int("watch-ring", 0, "epoch diffs retained for GET /v1/watch resume (0 = default 256); older consumers get a resync event")
@@ -98,6 +117,10 @@ func parseFlags(args []string) (*options, error) {
 		heatHalf    = fs.Duration("heat-halflife", 0, "read-heat half-life, applied per tick (0 = default 30s)")
 		heatSample  = fs.Int("heat-sample", 0, "sample one in this many reads per heat shard, rounded down to a power of two (0 = default 64)")
 		heatRecord  = fs.Bool("heat-record", false, "sample read heat even with -workload-weight 0, for apartd_heat_* observability")
+		clusterAddr = fs.String("cluster-addr", "", "cluster RPC listen address; turns on cluster mode (requires -peers, -shard-id, -shards; see docs/ARCHITECTURE.md)")
+		peers       = fs.String("peers", "", "comma-separated cluster RPC addresses of ALL shards, indexed by shard id (entry -shard-id is this process)")
+		shardID     = fs.Int("shard-id", 0, "this replica's shard index in [0, -shards)")
+		shardN      = fs.Int("shards", 0, "fixed cluster size (≥ 2); every shard must agree on it, the seed, K and the heuristic knobs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -124,9 +147,28 @@ func parseFlags(args []string) (*options, error) {
 	cfg.HeatHalfLife = *heatHalf
 	cfg.HeatSample = *heatSample
 	cfg.HeatRecord = *heatRecord
+	var peerList []string
+	if *clusterAddr != "" {
+		cfg.ClusterShard = *shardID
+		cfg.ClusterShards = *shardN
+		if *peers == "" {
+			return nil, fmt.Errorf("-cluster-addr requires -peers")
+		}
+		peerList = strings.Split(*peers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(peerList[i])
+		}
+		if len(peerList) != *shardN {
+			return nil, fmt.Errorf("-peers lists %d addresses, -shards says %d", len(peerList), *shardN)
+		}
+	} else if *shardN != 0 || *shardID != 0 || *peers != "" {
+		return nil, fmt.Errorf("-peers/-shard-id/-shards require -cluster-addr")
+	}
 	return &options{
 		addr:              *addr,
 		binaryAddr:        *binaryAddr,
+		clusterAddr:       *clusterAddr,
+		peers:             peerList,
 		restore:           *restore,
 		drainTicks:        *drainTicks,
 		readHeaderTimeout: *readHdrTO,
@@ -135,14 +177,19 @@ func parseFlags(args []string) (*options, error) {
 	}, nil
 }
 
-// buildServer constructs the daemon, fresh or from a snapshot.
-func buildServer(opts *options) (*server.Server, error) {
-	if opts.restore == "" {
-		return server.New(opts.cfg)
+// buildServer constructs the daemon, fresh or from a snapshot. The
+// cluster path pre-loads the snapshot (the mesh handshake needs its
+// watermark before the server exists) and passes it in; otherwise it is
+// loaded here.
+func buildServer(opts *options, snap *snapshot.Snapshot) (*server.Server, error) {
+	if snap == nil && opts.restore != "" {
+		var err error
+		if snap, err = snapshot.Load(opts.restore); err != nil {
+			return nil, err
+		}
 	}
-	snap, err := snapshot.Load(opts.restore)
-	if err != nil {
-		return nil, err
+	if snap == nil {
+		return server.New(opts.cfg)
 	}
 	srv, err := server.Restore(opts.cfg, snap)
 	if err != nil {
@@ -154,12 +201,80 @@ func buildServer(opts *options) (*server.Server, error) {
 	return srv, nil
 }
 
+// clusterConfigHash fingerprints every parameter the deterministic
+// replicated state machine depends on. Peers exchange it in the
+// handshake and refuse to mesh on a mismatch — a shard with a different
+// seed or step budget would silently diverge instead of failing fast.
+func clusterConfigHash(cfg server.Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "k=%d seed=%d s=%g cap=%g incremental=%v window=%d steps=%d shards=%d",
+		cfg.K, cfg.Seed, cfg.S, cfg.CapacityFactor, cfg.Incremental,
+		cfg.ConvergenceWindow, cfg.MaxStepsPerTick, cfg.ClusterShards)
+	return h.Sum64()
+}
+
+// setupCluster listens on the cluster RPC address and meshes with the
+// peers, returning the connected exchange. With a snapshot present the
+// algorithm parameters it pins (and the replay watermark it carries)
+// shape the handshake, matching what server.Restore will enforce.
+func setupCluster(opts *options, snap *snapshot.Snapshot) (*cluster.TCP, error) {
+	hashCfg := opts.cfg
+	watermark := uint64(0)
+	if snap != nil {
+		if snap.Cluster == nil {
+			return nil, fmt.Errorf("snapshot %s carries no cluster identity; cluster mode resumes only from cluster-mode checkpoints", opts.restore)
+		}
+		watermark = snap.Cluster.RoundsCompleted
+		hashCfg.K = snap.Params.K
+		hashCfg.Seed = snap.Params.Seed
+		hashCfg.S = snap.Params.S
+		hashCfg.CapacityFactor = snap.Params.CapacityFactor
+		hashCfg.Incremental = snap.Params.Incremental
+		hashCfg.ConvergenceWindow = snap.Params.ConvergenceWindow
+	}
+	ln, err := net.Listen("tcp", opts.clusterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster listener: %w", err)
+	}
+	log.Printf("cluster shard %d/%d meshing on %s (peers %v, watermark %d)",
+		opts.cfg.ClusterShard, opts.cfg.ClusterShards, ln.Addr(), opts.peers, watermark)
+	ex, err := cluster.NewTCP(cluster.TCPConfig{
+		Shard:      opts.cfg.ClusterShard,
+		Shards:     opts.cfg.ClusterShards,
+		Listener:   ln,
+		Peers:      opts.peers,
+		ConfigHash: clusterConfigHash(hashCfg),
+		Watermark:  watermark,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster mesh: %w", err)
+	}
+	return ex, nil
+}
+
 func run(args []string) error {
 	opts, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	srv, err := buildServer(opts)
+	var snap *snapshot.Snapshot
+	if opts.clusterAddr != "" {
+		if opts.restore != "" {
+			if snap, err = snapshot.Load(opts.restore); err != nil {
+				return err
+			}
+		}
+		ex, err := setupCluster(opts, snap)
+		if err != nil {
+			return err
+		}
+		// The server never closes the exchange; this close runs after the
+		// deferred srv.Stop, once the drain's final rounds are done.
+		defer ex.Close() //nolint:errcheck // teardown
+		opts.cfg.Exchange = ex
+	}
+	srv, err := buildServer(opts, snap)
 	if err != nil {
 		return err
 	}

@@ -47,7 +47,7 @@ func TestBuildServerFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(opts)
+	srv, err := buildServer(opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestBuildServerRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := buildServer(opts)
+	srv, err := buildServer(opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestBuildServerRestoreMissingFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(opts); err == nil {
+	if _, err := buildServer(opts, nil); err == nil {
 		t.Fatal("restore of missing file succeeded")
 	}
 	// A corrupt snapshot must fail loudly too.
@@ -118,7 +118,7 @@ func TestBuildServerRestoreMissingFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.restore = bad
-	if _, err := buildServer(opts); err == nil {
+	if _, err := buildServer(opts, nil); err == nil {
 		t.Fatal("restore of corrupt file succeeded")
 	}
 }

@@ -512,12 +512,31 @@ func jsonProducer(opts *options, httpc *http.Client, batches <-chan graph.Batch,
 	return nil
 }
 
-// retryAfter reads a 429's Retry-After seconds, with a sane fallback.
+// retryBackoffFloor is the minimum pause any backpressure retry honours.
+// A zero or sub-millisecond hint (the daemon rounds Retry-After up, but
+// other servers and the binary plane's millisecond field can legitimately
+// say 0) must not turn the retry loop into a busy spin against a full
+// queue.
+const retryBackoffFloor = 10 * time.Millisecond
+
+// retryAfter reads a 429's Retry-After header, with a sane fallback.
+// Fractional seconds are honoured (RFC 9110 only allows integers, but
+// proxies and test servers send fractions in practice) and every parsed
+// value is floored at retryBackoffFloor so "Retry-After: 0" cannot
+// spin-retry.
 func retryAfter(resp *http.Response) time.Duration {
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
+	if secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil && secs >= 0 {
+		return floorBackoff(time.Duration(secs * float64(time.Second)))
 	}
 	return 100 * time.Millisecond
+}
+
+// floorBackoff clamps a backpressure pause to retryBackoffFloor.
+func floorBackoff(d time.Duration) time.Duration {
+	if d < retryBackoffFloor {
+		return retryBackoffFloor
+	}
+	return d
 }
 
 // binaryProducer streams batch frames over one persistent connection,
@@ -555,8 +574,13 @@ func binaryProducer(opts *options, batches <-chan graph.Batch, cnt *counters) er
 			return nil
 		case f.Type == graph.FrameNak && f.Nak.Code == graph.NakBackpressure:
 			cnt.backpressure.Add(1)
-			time.Sleep(time.Duration(f.Nak.RetryAfterMillis) * time.Millisecond)
+			// The hint is a u32 millisecond count and 0 is legitimate on
+			// sub-millisecond ticks; floor it so the retransmit loop never
+			// busy-spins against a full queue.
+			time.Sleep(floorBackoff(time.Duration(f.Nak.RetryAfterMillis) * time.Millisecond))
 			return send(frame)
+		case f.Type == graph.FrameNak && f.Nak.Code == graph.NakShutdown:
+			return fmt.Errorf("server draining: batch refused during shutdown (resend it after the daemon restarts)")
 		default:
 			return fmt.Errorf("server rejected frame: %+v", f.Nak)
 		}

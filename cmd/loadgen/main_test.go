@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -302,6 +303,52 @@ func BenchmarkDispatch(b *testing.B) {
 		<-done
 		if cnt.offered.Load() != lines {
 			b.Fatalf("offered %d", cnt.offered.Load())
+		}
+	}
+}
+
+func TestRetryAfterBackoff(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"integer seconds", "2", 2 * time.Second},
+		{"fractional seconds", "0.25", 250 * time.Millisecond},
+		{"zero floors", "0", retryBackoffFloor},
+		{"sub-floor fraction floors", "0.001", retryBackoffFloor},
+		{"absent falls back", "", 100 * time.Millisecond},
+		{"garbage falls back", "soon", 100 * time.Millisecond},
+		{"negative falls back", "-3", 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.header != "" {
+				resp.Header.Set("Retry-After", tc.header)
+			}
+			if got := retryAfter(resp); got != tc.want {
+				t.Errorf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFloorBackoffBinaryHint(t *testing.T) {
+	// The binary plane's NAK hint is a u32 millisecond count; a 0 hint
+	// (legal on sub-millisecond ticks) must not produce a zero sleep.
+	cases := []struct {
+		millis uint32
+		want   time.Duration
+	}{
+		{0, retryBackoffFloor},
+		{1, retryBackoffFloor},
+		{250, 250 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got := floorBackoff(time.Duration(tc.millis) * time.Millisecond)
+		if got != tc.want {
+			t.Errorf("floorBackoff(%dms) = %v, want %v", tc.millis, got, tc.want)
 		}
 	}
 }

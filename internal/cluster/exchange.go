@@ -1,0 +1,218 @@
+// Package cluster implements the round exchange that lets N apartd
+// processes run the adaptive partitioner as one deterministic replicated
+// state machine.
+//
+// Every replica holds the full graph and assignment; what the cluster
+// exchanges is *decisions*, not state. A tick is a sequence of numbered
+// rounds: one batch round (each shard contributes the mutations it
+// ingested, plus a state hash for divergence detection) followed by one
+// step round per heuristic iteration (each shard contributes the
+// ShardDecision of its own slice of the sweep). A round is a barrier —
+// Round blocks until all N payloads exist — so the replicas advance in
+// lockstep and apply identical merged outcomes in identical order,
+// which keeps them byte-identical to a single process running with
+// Parallelism = N (see internal/core/cluster.go for the proof sketch).
+//
+// There is no coordinator and no election: determinism is the
+// consensus. The exchange journals recent complete rounds so a replica
+// restarted from a checkpoint can replay the rounds it missed (its own
+// old payloads included — peers hand them back), re-deriving the exact
+// state it would have had. A gap older than the journal is fatal by
+// design: restore from a newer checkpoint instead of resyncing silently.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultRetain is the number of completed rounds the exchange journals
+// for replica catch-up when the transport does not specify one.
+const DefaultRetain = 4096
+
+// ErrClosed is returned by Round after the exchange has been closed.
+var ErrClosed = errors.New("cluster: exchange closed")
+
+// Exchange is one shard's handle on the cluster round barrier. It is
+// transport-agnostic: tests run the in-process MemCluster, production
+// runs the TCP transport — the server's tick loop cannot tell them
+// apart.
+type Exchange interface {
+	// Round submits this shard's payload for the given round (1-based,
+	// called in strictly increasing order) and blocks until every
+	// shard's payload for that round is available, returning them
+	// indexed by shard. During journal replay — round ≤ Completed() —
+	// the submitted payload is ignored and the journaled payloads are
+	// returned, the caller's own included; callers must always consume
+	// the RETURNED payloads, never their local copy.
+	Round(round uint64, payload []byte) ([][]byte, error)
+	// Completed reports the highest round for which every payload is
+	// already available: rounds ≤ Completed() replay from the journal.
+	Completed() uint64
+	// Shard is this handle's shard index; Shards the cluster size.
+	Shard() int
+	Shards() int
+	// Close releases the transport; pending and future Round calls
+	// return an error.
+	Close() error
+}
+
+// hub is the round table shared by every transport: payload slots per
+// (round, shard), a contiguous completion watermark, and a bounded
+// journal of past rounds for replica catch-up.
+type hub struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int
+	retain    uint64
+	rounds    map[uint64]*hubRound
+	completed uint64 // all rounds in [floor, completed] are complete
+	floor     uint64 // oldest journaled round; older rounds are gone
+	err       error
+}
+
+type hubRound struct {
+	payloads [][]byte
+	have     int
+}
+
+// maxRoundSkew bounds how far ahead of the completion watermark a
+// delivery may land; anything further is a corrupt or hostile peer.
+const maxRoundSkew = 1 << 20
+
+func newHub(n, retain int, watermark uint64) *hub {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	h := &hub{
+		n:         n,
+		retain:    uint64(retain),
+		rounds:    make(map[uint64]*hubRound),
+		completed: watermark,
+		floor:     watermark + 1,
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// deliver stores one shard's payload for a round. First write wins:
+// duplicates (journal resends, reconnect catch-up, or a replica
+// recomputing a payload it already sent in a previous life) are
+// ignored, which is what makes replay deterministic.
+func (h *hub) deliver(round uint64, shard int, payload []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil || shard < 0 || shard >= h.n {
+		return
+	}
+	if round < h.floor || round > h.completed+maxRoundSkew {
+		return
+	}
+	rd := h.rounds[round]
+	if rd == nil {
+		rd = &hubRound{payloads: make([][]byte, h.n)}
+		h.rounds[round] = rd
+	}
+	if rd.payloads[shard] != nil {
+		return
+	}
+	rd.payloads[shard] = append([]byte(nil), payload...)
+	rd.have++
+	advanced := false
+	for {
+		next := h.rounds[h.completed+1]
+		if next == nil || next.have < h.n {
+			break
+		}
+		h.completed++
+		advanced = true
+	}
+	for h.completed > h.retain && h.floor < h.completed-h.retain {
+		delete(h.rounds, h.floor)
+		h.floor++
+	}
+	if advanced {
+		h.cond.Broadcast()
+	}
+}
+
+// await blocks until the round is complete and returns a copy of its
+// payload slice (the backing arrays stay journal-owned and must not be
+// mutated).
+func (h *hub) await(round uint64) ([][]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.err == nil && h.completed < round {
+		h.cond.Wait()
+	}
+	if h.err != nil {
+		return nil, h.err
+	}
+	if round < h.floor {
+		return nil, fmt.Errorf("cluster: round %d evicted from the journal (floor %d): restore from a newer checkpoint", round, h.floor)
+	}
+	rd := h.rounds[round]
+	if rd == nil {
+		return nil, fmt.Errorf("cluster: round %d missing from the journal", round)
+	}
+	return append([][]byte(nil), rd.payloads...), nil
+}
+
+func (h *hub) completedRound() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.completed
+}
+
+// fail poisons the hub: every pending and future await returns err.
+func (h *hub) fail(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err == nil {
+		h.err = err
+	}
+	h.cond.Broadcast()
+}
+
+// journalAfter returns every journaled (round, shard, payload) triple
+// with round > watermark, complete rounds and partial slots alike, in
+// round order. The payloads alias journal memory: write them out before
+// the journal evicts (callers copy into frames immediately).
+func (h *hub) journalAfter(watermark uint64) []journalEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []journalEntry
+	for r := max(watermark+1, h.floor); r <= h.completed+1; r++ {
+		rd := h.rounds[r]
+		if rd == nil {
+			continue
+		}
+		for s, p := range rd.payloads {
+			if p != nil {
+				out = append(out, journalEntry{round: r, shard: s, payload: p})
+			}
+		}
+	}
+	return out
+}
+
+// ownAfter returns this shard's journaled payloads with round >
+// watermark, for resending to a peer that reconnected.
+func (h *hub) ownAfter(watermark uint64, shard int) []journalEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []journalEntry
+	for r := max(watermark+1, h.floor); r <= h.completed+1; r++ {
+		if rd := h.rounds[r]; rd != nil && rd.payloads[shard] != nil {
+			out = append(out, journalEntry{round: r, shard: shard, payload: rd.payloads[shard]})
+		}
+	}
+	return out
+}
+
+type journalEntry struct {
+	round   uint64
+	shard   int
+	payload []byte
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import "fmt"
+
+// MemCluster is the in-process transport: N Exchange handles sharing
+// one round table. Tests use it to drive a whole cluster inside one
+// process — including the kill/restore path, since the shared journal
+// survives a "dead" handle and a fresh handle for the same shard can
+// replay the rounds it missed, exactly like a TCP replica rejoining.
+type MemCluster struct {
+	h *hub
+}
+
+// NewMemCluster builds an in-process exchange for n shards, journaling
+// retain completed rounds (≤ 0 means DefaultRetain).
+func NewMemCluster(n, retain int) (*MemCluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 shards, got %d", n)
+	}
+	return &MemCluster{h: newHub(n, retain, 0)}, nil
+}
+
+// Shard returns an Exchange handle for the given shard. Handles are
+// cheap; a "restarted" replica simply asks for a new one.
+func (c *MemCluster) Shard(i int) (Exchange, error) {
+	if i < 0 || i >= c.h.n {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", i, c.h.n)
+	}
+	return &memHandle{h: c.h, shard: i}, nil
+}
+
+// Close poisons the shared hub; every handle's pending and future
+// Round calls return ErrClosed.
+func (c *MemCluster) Close() error {
+	c.h.fail(ErrClosed)
+	return nil
+}
+
+type memHandle struct {
+	h     *hub
+	shard int
+}
+
+// Round implements Exchange: deliver locally, then block on the
+// barrier. Duplicate deliveries during replay are ignored by the hub
+// (first write wins), so the journaled payloads come back.
+func (m *memHandle) Round(round uint64, payload []byte) ([][]byte, error) {
+	m.h.deliver(round, m.shard, payload)
+	return m.h.await(round)
+}
+
+// Completed implements Exchange.
+func (m *memHandle) Completed() uint64 { return m.h.completedRound() }
+
+// Shard implements Exchange.
+func (m *memHandle) Shard() int { return m.shard }
+
+// Shards implements Exchange.
+func (m *memHandle) Shards() int { return m.h.n }
+
+// Close implements Exchange. Closing a handle is a no-op: the shared
+// table stays alive so surviving shards keep exchanging rounds (and so
+// a restarted handle for this shard can replay) — the scenario the
+// shard-loss tests exercise. Close the MemCluster to tear it all down.
+func (m *memHandle) Close() error { return nil }

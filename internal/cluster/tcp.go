@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the production transport: full-mesh TCP with
+// send-direction connections. Shard i dials every peer j and uses that
+// connection to push its Round frames; j's frames arrive on the
+// connection j dialed to i. A dropped outbound connection simply loses
+// frames — the redial handshake (Hello/HelloAck) tells each side what
+// the other already has, and the journal resend covers the gap. The
+// barrier semantics live entirely in the shared hub; TCP only moves
+// payloads.
+//
+// Startup doubles as rejoin: NewTCP dials every peer, announces its
+// checkpoint watermark in the Hello, and blocks until each peer has
+// pushed its journal above that watermark and said CaughtUp. A replica
+// restarted from an old checkpoint therefore has every missed round —
+// its own pre-crash payloads included, handed back by the peers that
+// journaled them — before the server replays its first round. A
+// watermark older than a peer's journal floor is Rejected: restore
+// from a newer checkpoint instead.
+
+// tcpWriteTimeout bounds every frame write; a peer that cannot take a
+// frame for this long is treated as disconnected (the journal covers
+// the gap after redial).
+const tcpWriteTimeout = 30 * time.Second
+
+// tcpRedialDelay is the pause between reconnect attempts to a dead
+// peer.
+const tcpRedialDelay = 250 * time.Millisecond
+
+// TCPConfig configures one shard's TCP exchange.
+type TCPConfig struct {
+	// Shard and Shards are this process's shard index and the cluster
+	// size (≥ 2).
+	Shard  int
+	Shards int
+	// Listener accepts the peers' send-direction connections. The
+	// exchange owns it from NewTCP on and closes it on Close.
+	Listener net.Listener
+	// Peers holds one dialable address per shard, indexed by shard ID;
+	// Peers[Shard] is this process and is never dialed.
+	Peers []string
+	// ConfigHash fingerprints the deterministic configuration (seed, K,
+	// shard count, …). Peers with a different hash are rejected — mixed
+	// configs cannot agree byte-for-byte, so failing loudly beats
+	// diverging silently.
+	ConfigHash uint64
+	// Watermark is the round count restored from this replica's
+	// checkpoint: rounds ≤ Watermark are already applied locally, and
+	// peers resend everything above it during the startup handshake.
+	Watermark uint64
+	// Retain overrides the journal depth (≤ 0 means DefaultRetain).
+	Retain int
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// TCP is the TCP-mesh Exchange implementation for one shard.
+type TCP struct {
+	cfg   TCPConfig
+	h     *hub
+	peers []*tcpPeer // indexed by shard; nil at own index
+
+	closed     atomic.Bool
+	wg         sync.WaitGroup
+	reconnects atomic.Uint64
+
+	inMu    sync.Mutex
+	inConns map[net.Conn]struct{}
+}
+
+type tcpPeer struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	dialing bool
+}
+
+// NewTCP starts one shard's exchange: it serves inbound connections on
+// cfg.Listener, dials every peer, and blocks until each peer finishes
+// its catch-up push (so journal replay is complete before the first
+// Round call). A full cluster can start concurrently — every node
+// listens before dialing.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 shards, got %d", cfg.Shards)
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", cfg.Shard, cfg.Shards)
+	}
+	if len(cfg.Peers) != cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d peer addresses for %d shards", len(cfg.Peers), cfg.Shards)
+	}
+	if cfg.Listener == nil {
+		return nil, fmt.Errorf("cluster: listener required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	t := &TCP{
+		cfg:     cfg,
+		h:       newHub(cfg.Shards, cfg.Retain, cfg.Watermark),
+		peers:   make([]*tcpPeer, cfg.Shards),
+		inConns: make(map[net.Conn]struct{}),
+	}
+	for i, addr := range cfg.Peers {
+		if i != cfg.Shard {
+			t.peers[i] = &tcpPeer{addr: addr}
+		}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	// Dial everyone and wait out their catch-up pushes so the journal
+	// holds every round above our watermark before the server replays.
+	caught := make(chan int, cfg.Shards)
+	for i, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go t.dialLoop(i, p, caught)
+	}
+	need := cfg.Shards - 1
+	for need > 0 {
+		select {
+		case <-caught:
+			need--
+		case <-time.After(100 * time.Millisecond):
+			if err := t.hubErr(); err != nil {
+				t.Close() //nolint:errcheck // already failing
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func (t *TCP) hubErr() error {
+	t.h.mu.Lock()
+	defer t.h.mu.Unlock()
+	return t.h.err
+}
+
+// Round implements Exchange.
+func (t *TCP) Round(round uint64, payload []byte) ([][]byte, error) {
+	if len(payload) > MaxRoundPayload {
+		return nil, fmt.Errorf("cluster: round payload %d bytes exceeds the wire maximum", len(payload))
+	}
+	t.h.deliver(round, t.cfg.Shard, payload)
+	frame, err := AppendRoundFrame(nil, Round{Round: round, Shard: uint32(t.cfg.Shard), Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if !t.sendToPeer(p, frame) {
+			t.cfg.Logf("cluster: shard %d unreachable for round %d (journal will cover it after redial)", i, round)
+		}
+	}
+	return t.h.await(round)
+}
+
+// Completed implements Exchange.
+func (t *TCP) Completed() uint64 { return t.h.completedRound() }
+
+// Shard implements Exchange.
+func (t *TCP) Shard() int { return t.cfg.Shard }
+
+// Shards implements Exchange.
+func (t *TCP) Shards() int { return t.cfg.Shards }
+
+// Reconnects reports how many times an outbound peer connection had to
+// be re-established.
+func (t *TCP) Reconnects() uint64 { return t.reconnects.Load() }
+
+// Close implements Exchange: the listener and every connection close,
+// and pending Round calls return ErrClosed.
+func (t *TCP) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	t.h.fail(ErrClosed)
+	t.cfg.Listener.Close() //nolint:errcheck // teardown
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close() //nolint:errcheck // teardown
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	t.inMu.Lock()
+	for c := range t.inConns {
+		c.Close() //nolint:errcheck // teardown
+	}
+	t.inMu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// sendToPeer writes one frame on the peer's live connection; false
+// means the peer is currently unreachable (a redial is triggered and
+// the journal covers the gap).
+func (t *TCP) sendToPeer(p *tcpPeer, frame []byte) bool {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout)) //nolint:errcheck // net.Conn deadlines
+	if _, err := conn.Write(frame); err != nil {
+		p.mu.Lock()
+		if p.conn == conn {
+			p.conn = nil
+		}
+		p.mu.Unlock()
+		conn.Close() //nolint:errcheck // already broken
+		return false
+	}
+	return true
+}
+
+// dialLoop keeps the outbound connection to one peer alive: dial,
+// handshake, resend the journal the peer is missing, then read its
+// catch-up stream until the connection dies; repeat. The first
+// completed catch-up is signalled on caught.
+func (t *TCP) dialLoop(shard int, p *tcpPeer, caught chan<- int) {
+	defer t.wg.Done()
+	var once sync.Once
+	signal := func() { once.Do(func() { caught <- shard }) }
+	first := true
+	for !t.closed.Load() {
+		conn, err := net.DialTimeout("tcp", p.addr, 5*time.Second)
+		if err != nil {
+			time.Sleep(tcpRedialDelay)
+			continue
+		}
+		if !first {
+			t.reconnects.Add(1)
+		}
+		first = false
+		if !t.runOutbound(shard, p, conn, signal) {
+			return // fatal (reject) or closed
+		}
+	}
+}
+
+// runOutbound drives one live outbound connection; it returns false
+// when the exchange must stop redialing (closed or rejected). signal
+// fires (once) when the peer's catch-up push completes.
+func (t *TCP) runOutbound(shard int, p *tcpPeer, conn net.Conn, signal func()) bool {
+	defer conn.Close()
+	hello := AppendHelloFrame(nil, Hello{
+		Shard:      uint32(t.cfg.Shard),
+		Shards:     uint32(t.cfg.Shards),
+		ConfigHash: t.cfg.ConfigHash,
+		Watermark:  t.h.completedRound(),
+	})
+	conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout)) //nolint:errcheck // net.Conn deadlines
+	if _, err := conn.Write(hello); err != nil {
+		return !t.closed.Load()
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	conn.SetReadDeadline(time.Now().Add(tcpWriteTimeout)) //nolint:errcheck // handshake must not hang Close
+	f, err := ReadFrame(br)
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // back to blocking reads
+	if err != nil {
+		if !t.closed.Load() {
+			time.Sleep(tcpRedialDelay)
+		}
+		return !t.closed.Load()
+	}
+	switch f.Type {
+	case FrameReject:
+		err := fmt.Errorf("cluster: shard %d rejected us: %s", shard, f.Reason)
+		t.cfg.Logf("%v", err)
+		t.h.fail(err)
+		return false
+	case FrameHelloAck:
+	default:
+		t.cfg.Logf("cluster: shard %d answered hello with %v", shard, f.Type)
+		return !t.closed.Load()
+	}
+	// Resend what the peer is missing from us.
+	for _, e := range t.h.ownAfter(f.Watermark, t.cfg.Shard) {
+		frame, err := AppendRoundFrame(nil, Round{Round: e.round, Shard: uint32(e.shard), Payload: e.payload})
+		if err != nil {
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout)) //nolint:errcheck // net.Conn deadlines
+		if _, err := conn.Write(frame); err != nil {
+			return !t.closed.Load()
+		}
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.mu.Unlock()
+	// Read the peer's catch-up stream (and any later frames it chooses
+	// to push on this connection).
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			p.mu.Lock()
+			if p.conn == conn {
+				p.conn = nil
+			}
+			p.mu.Unlock()
+			return !t.closed.Load()
+		}
+		switch f.Type {
+		case FrameRound:
+			t.h.deliver(f.Round.Round, int(f.Round.Shard), f.Round.Payload)
+		case FrameCaughtUp:
+			signal()
+		case FrameReject:
+			err := fmt.Errorf("cluster: shard %d rejected us: %s", shard, f.Reason)
+			t.cfg.Logf("%v", err)
+			t.h.fail(err)
+			return false
+		default:
+			t.cfg.Logf("cluster: unexpected %v frame from shard %d", f.Type, shard)
+		}
+	}
+}
+
+// acceptLoop serves the peers' send-direction connections.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.cfg.Listener.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if t.closed.Load() {
+				return
+			}
+			t.cfg.Logf("cluster: accept: %v", err)
+			continue
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveInbound(conn)
+		}()
+	}
+}
+
+// serveInbound handles one peer's send-direction connection: validate
+// its Hello, push the journal it is missing (ending with CaughtUp),
+// then deliver its Round frames until the connection dies.
+func (t *TCP) serveInbound(conn net.Conn) {
+	defer conn.Close()
+	t.inMu.Lock()
+	t.inConns[conn] = struct{}{}
+	t.inMu.Unlock()
+	defer func() {
+		t.inMu.Lock()
+		delete(t.inConns, conn)
+		t.inMu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	f, err := ReadFrame(br)
+	if err != nil || f.Type != FrameHello {
+		return
+	}
+	h := f.Hello
+	if int(h.Shards) != t.cfg.Shards || int(h.Shard) == t.cfg.Shard || int(h.Shard) >= t.cfg.Shards {
+		t.writeFrame(conn, AppendRejectFrame(nil, fmt.Sprintf("geometry mismatch: you are shard %d of %d, I am shard %d of %d", h.Shard, h.Shards, t.cfg.Shard, t.cfg.Shards)))
+		return
+	}
+	if h.ConfigHash != t.cfg.ConfigHash {
+		t.writeFrame(conn, AppendRejectFrame(nil, "config hash mismatch: the cluster must share seed, K and shard count"))
+		return
+	}
+	floor := func() uint64 { t.h.mu.Lock(); defer t.h.mu.Unlock(); return t.h.floor }()
+	if h.Watermark+1 < floor {
+		t.writeFrame(conn, AppendRejectFrame(nil, fmt.Sprintf("journal gap: you completed round %d, my journal starts at %d — restore from a newer checkpoint", h.Watermark, floor)))
+		return
+	}
+	if !t.writeFrame(conn, AppendHelloAckFrame(nil, t.h.completedRound())) {
+		return
+	}
+	// Catch-up push: everything we journaled above the peer's
+	// watermark, its own old payloads included — that is how a replica
+	// restored from a checkpoint gets its pre-crash contributions back.
+	for _, e := range t.h.journalAfter(h.Watermark) {
+		frame, err := AppendRoundFrame(nil, Round{Round: e.round, Shard: uint32(e.shard), Payload: e.payload})
+		if err != nil {
+			continue
+		}
+		if !t.writeFrame(conn, frame) {
+			return
+		}
+	}
+	if !t.writeFrame(conn, AppendCaughtUpFrame(nil)) {
+		return
+	}
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if f.Type != FrameRound {
+			t.cfg.Logf("cluster: unexpected %v frame from shard %d", f.Type, h.Shard)
+			continue
+		}
+		t.h.deliver(f.Round.Round, int(f.Round.Shard), f.Round.Payload)
+	}
+}
+
+func (t *TCP) writeFrame(conn net.Conn, frame []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout)) //nolint:errcheck // net.Conn deadlines
+	_, err := conn.Write(frame)
+	return err == nil
+}

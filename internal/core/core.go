@@ -444,6 +444,59 @@ func (p *Partitioner) leastLoaded() partition.ID {
 // Step executes one iteration of the heuristic and returns its stats.
 func (p *Partitioner) Step() IterationStats {
 	k := p.cfg.K
+	weight := p.beginIteration()
+
+	p.moves = p.moves[:0]
+	requested := 0
+	examined := 0
+	switch {
+	case k <= 1:
+		// Single partition: nothing can move.
+	case p.cfg.Incremental:
+		requested, examined = p.stepIncremental(weight)
+	case p.par > 1:
+		examined = p.g.NumVertices()
+		requested = p.stepParallel(weight)
+	default:
+		examined = p.g.NumVertices()
+		p.g.ForEachVertex(func(v graph.VertexID) {
+			if p.cfg.S < 1 && p.rng.Float64() >= p.cfg.S {
+				return // unwilling this iteration
+			}
+			cur := p.asn.Of(v)
+			best := p.bestPartitions(v, cur)
+			if best == nil {
+				return // current partition is among the candidates: stay
+			}
+			requested++
+			// Try tied best destinations in random order until one has
+			// quota left; otherwise stay (worst-case capacity rule).
+			p.rng.Shuffle(len(best), func(i, j int) { best[i], best[j] = best[j], best[i] })
+			w := weight(v)
+			for _, dst := range best {
+				if p.cfg.DisableQuotas {
+					p.moves = append(p.moves, move{v: v, from: cur, to: dst})
+					break
+				}
+				if p.quota[cur][dst] >= w {
+					p.quota[cur][dst] -= w
+					p.moves = append(p.moves, move{v: v, from: cur, to: dst})
+					break
+				}
+			}
+		})
+	}
+
+	return p.finishIteration(requested, examined)
+}
+
+// beginIteration runs the iteration preamble shared by every execution
+// path: capacities are refreshed, the per-pair quota matrix (and its
+// column mirror) is filled from free capacity, and the request-weight
+// function is returned. Pure function of (graph, assignment, config), so
+// every cluster replica derives the identical quota view independently.
+func (p *Partitioner) beginIteration() func(graph.VertexID) int {
+	k := p.cfg.K
 	if p.g.NumVertices() != p.capsN {
 		p.recomputeCapacities()
 	}
@@ -489,48 +542,14 @@ func (p *Partitioner) Step() IterationStats {
 			p.quotaCol[j] = q
 		}
 	}
+	return weight
+}
 
-	p.moves = p.moves[:0]
-	requested := 0
-	examined := 0
-	switch {
-	case k <= 1:
-		// Single partition: nothing can move.
-	case p.cfg.Incremental:
-		requested, examined = p.stepIncremental(weight)
-	case p.par > 1:
-		examined = p.g.NumVertices()
-		requested = p.stepParallel(weight)
-	default:
-		examined = p.g.NumVertices()
-		p.g.ForEachVertex(func(v graph.VertexID) {
-			if p.cfg.S < 1 && p.rng.Float64() >= p.cfg.S {
-				return // unwilling this iteration
-			}
-			cur := p.asn.Of(v)
-			best := p.bestPartitions(v, cur)
-			if best == nil {
-				return // current partition is among the candidates: stay
-			}
-			requested++
-			// Try tied best destinations in random order until one has
-			// quota left; otherwise stay (worst-case capacity rule).
-			p.rng.Shuffle(len(best), func(i, j int) { best[i], best[j] = best[j], best[i] })
-			w := weight(v)
-			for _, dst := range best {
-				if p.cfg.DisableQuotas {
-					p.moves = append(p.moves, move{v: v, from: cur, to: dst})
-					break
-				}
-				if p.quota[cur][dst] >= w {
-					p.quota[cur][dst] -= w
-					p.moves = append(p.moves, move{v: v, from: cur, to: dst})
-					break
-				}
-			}
-		})
-	}
-
+// finishIteration is the iteration barrier shared by Step and the
+// cluster apply path: every granted move in p.moves is applied
+// simultaneously, the incremental scheduler's neighbourhood wakes run,
+// and the iteration/convergence counters advance.
+func (p *Partitioner) finishIteration(requested, examined int) IterationStats {
 	// Apply all granted migrations simultaneously (end of iteration).
 	// Every execution path (sequential, sharded, incremental) funnels its
 	// grants into p.moves, so recording here covers them all.

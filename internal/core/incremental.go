@@ -188,6 +188,7 @@ func (sh *coreShard) decideFrontier(p *Partitioner, chunk []graph.VertexID, weig
 	sh.keep = sh.keep[:0]
 	sh.parkBuf = sh.parkBuf[:0]
 	sh.parkDests = sh.parkDests[:0]
+	sh.settled = sh.settled[:0]
 	for i := range sh.reqs {
 		sh.reqs[i] = sh.reqs[i][:0]
 	}
@@ -200,7 +201,13 @@ func (sh *coreShard) decideFrontier(p *Partitioner, chunk []graph.VertexID, weig
 		cur := p.asn.Of(v)
 		sh.tied = p.scoreBest(v, cur, sh.counts, sh.countsF, sh.tied)
 		if len(sh.tied) == 0 {
+			// Unscheduling only clears a dirty bit (idempotent), so the
+			// cluster path can safely re-apply broadcast settles on top
+			// of this inline one.
 			p.active.Unschedule(v)
+			if sh.capture {
+				sh.settled = append(sh.settled, v)
+			}
 			continue
 		}
 		sh.requested++

@@ -43,6 +43,8 @@ type coreShard struct {
 	keep      []graph.VertexID // frontier vertices staying dirty (incremental mode)
 	parkBuf   []shardPark      // hard-denied vertices to park at the barrier
 	parkDests []partition.ID   // arena backing the park entries' destination lists
+	settled   []graph.VertexID // cluster mode: vertices that chose to stay, for broadcast
+	capture   bool             // record settled vertices (cluster decide only)
 	requested int
 }
 

@@ -34,7 +34,9 @@ import (
 //	                       — NakBackpressure: queue full, retry the SAME
 //	                         batch after the hint (nothing was enqueued);
 //	                         NakMalformed: protocol error, the server
-//	                         closes the connection after sending it
+//	                         closes the connection after sending it;
+//	                         NakShutdown: server draining, nothing was
+//	                         enqueued and the connection is about to close
 //
 // The payload length must match the type's content exactly (4 + 9·count
 // for a batch); trailing or missing bytes are errors, so a desynced
@@ -73,10 +75,14 @@ func (t FrameType) String() string {
 type NakCode byte
 
 // Nak codes. Backpressure is retryable (the batch was not enqueued);
-// Malformed means the connection is being closed on a protocol error.
+// Malformed means the connection is being closed on a protocol error;
+// Shutdown means the server is draining — the batch was not enqueued and
+// the producer should fail over or resend after the daemon restarts,
+// not retry this connection.
 const (
 	NakBackpressure NakCode = 1
 	NakMalformed    NakCode = 2
+	NakShutdown     NakCode = 3
 )
 
 // MaxWireBatch bounds the mutations one batch frame may carry (≈18 MiB
@@ -223,7 +229,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 			return Frame{}, fmt.Errorf("graph wire: nak: %w", noEOF(err))
 		}
 		code := NakCode(buf[0])
-		if code != NakBackpressure && code != NakMalformed {
+		if code != NakBackpressure && code != NakMalformed && code != NakShutdown {
 			return Frame{}, fmt.Errorf("graph wire: unknown nak code %d", buf[0])
 		}
 		return Frame{Type: FrameNak, Nak: Nak{Code: code, RetryAfterMillis: leU32(buf[1:5])}}, nil

@@ -54,6 +54,9 @@ func (s *Server) ServeBinary(l net.Listener) error {
 
 // CloseBinary force-closes every live binary-plane connection. New
 // connections are governed by the listener, which the caller owns.
+// Frames in flight on a force-closed connection get no reply; the
+// graceful-shutdown path (Drain) calls DrainBinary first so pipelined
+// producers are answered before anything is torn down.
 func (s *Server) CloseBinary() {
 	s.binMu.Lock()
 	conns := make([]net.Conn, 0, len(s.binConns))
@@ -64,6 +67,51 @@ func (s *Server) CloseBinary() {
 	for _, c := range conns {
 		c.Close() //nolint:errcheck // teardown
 	}
+}
+
+// DefaultBinaryDrainGrace is the window DrainBinary gives connection
+// handlers to answer their in-flight frames before force-closing.
+const DefaultBinaryDrainGrace = 2 * time.Second
+
+// DrainBinary gracefully shuts the binary ingest plane down: every
+// frame already in flight (written by a pipelining producer, not yet
+// replied to) is answered — enqueued-and-ACKed frames drain with the
+// tick loop as usual; frames read after the drain begins get a
+// NakShutdown so the producer knows the batch was NOT accepted — and
+// connections close once their socket is quiet. Force-closing instead
+// (the old CloseBinary-only path) silently dropped queued-but-unACKed
+// batches: the producer saw a reset with no way to tell accepted frames
+// from lost ones. Blocks until every handler exits or grace elapses
+// (stragglers are then force-closed); grace ≤ 0 means
+// DefaultBinaryDrainGrace. Idempotent; new connections are governed by
+// the listener, which the caller owns and should close first.
+func (s *Server) DrainBinary(grace time.Duration) {
+	if grace <= 0 {
+		grace = DefaultBinaryDrainGrace
+	}
+	deadline := time.Now().Add(grace)
+	s.binDrainUntil.Store(deadline.UnixNano())
+	s.binDraining.Store(true)
+	// Nudge every handler: each gets a read deadline inside the drain
+	// window, so a handler parked in ReadFrame on an idle socket wakes
+	// within the grace period instead of its (minutes-long) idle timeout.
+	// Buffered frames still read fine — deadlines only bound new socket
+	// reads — so pipelined frames are answered, not dropped.
+	s.binMu.Lock()
+	for c := range s.binConns {
+		c.SetReadDeadline(deadline) //nolint:errcheck // net.Conn deadlines
+	}
+	s.binMu.Unlock()
+	for time.Now().Before(deadline) {
+		s.binMu.Lock()
+		n := len(s.binConns)
+		s.binMu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.CloseBinary()
 }
 
 func (s *Server) trackBinaryConn(c net.Conn, add bool) {
@@ -96,15 +144,22 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	reply := make([]byte, 0, 16)
 	for {
-		if idle > 0 {
+		if s.binDraining.Load() {
+			// The drain window bounds how long this handler may block on
+			// the socket; frames already buffered are still read and
+			// answered below.
+			conn.SetReadDeadline(time.Unix(0, s.binDrainUntil.Load())) //nolint:errcheck // net.Conn deadlines
+		} else if idle > 0 {
 			conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck // net.Conn deadlines
 		}
 		f, err := graph.ReadFrame(br)
 		if err != nil {
-			// Clean close between frames needs no reply; a protocol error
-			// gets a best-effort malformed NAK so the producer can tell
-			// "server rejected my framing" from a network failure.
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			// Clean close between frames needs no reply, and neither does a
+			// drain-deadline expiry (every received frame was already
+			// answered); a protocol error gets a best-effort malformed NAK
+			// so the producer can tell "server rejected my framing" from a
+			// network failure.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				s.writeBinaryReply(conn, graph.AppendNakFrame(reply[:0], graph.Nak{Code: graph.NakMalformed}))
 			}
 			return
@@ -112,6 +167,15 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 		if f.Type != graph.FrameBatch {
 			s.writeBinaryReply(conn, graph.AppendNakFrame(reply[:0], graph.Nak{Code: graph.NakMalformed}))
 			return
+		}
+		if s.binDraining.Load() {
+			// Shutdown in progress: refuse the batch explicitly. The
+			// producer learns this exact frame was NOT accepted — the
+			// silent-loss window the force-close path had.
+			if !s.writeBinaryReply(conn, graph.AppendNakFrame(reply[:0], graph.Nak{Code: graph.NakShutdown})) {
+				return
+			}
+			continue
 		}
 		queued, ok := s.EnqueueShard(f.Batch, shard)
 		if !ok {
@@ -139,4 +203,11 @@ func (s *Server) writeBinaryReply(conn net.Conn, frame []byte) bool {
 	conn.SetWriteDeadline(time.Now().Add(binaryWriteTimeout)) //nolint:errcheck // net.Conn deadlines
 	_, err := conn.Write(frame)
 	return err == nil
+}
+
+// isTimeout reports whether err is a deadline expiry (the expected way a
+// drained connection's read loop ends).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

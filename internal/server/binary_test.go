@@ -217,3 +217,98 @@ func TestJSONBinaryEquivalence(t *testing.T) {
 		t.Fatalf("checkpoints diverge between JSON and binary ingest (%d vs %d bytes)", len(a), len(b))
 	}
 }
+
+// TestBinaryDrainAnswersInFlightFrames pins the graceful-shutdown
+// contract of the binary plane: a pipelining producer that has written
+// frames without reaping replies gets an answer for EVERY frame — ACK
+// for frames processed before the drain began, shutdown NAK after — and
+// then a clean EOF. The old path (CloseBinary force-closing live
+// connections) failed this test: queued-but-unACKed frames died with a
+// connection reset and the producer could not tell accepted batches
+// from lost ones.
+func TestBinaryDrainAnswersInFlightFrames(t *testing.T) {
+	s := testServer(t, nil)
+	addr := startBinary(t, s)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Pipeline several frames without reading a single reply, the way
+	// loadgen's windowed producer does mid-SIGTERM.
+	const frames = 6
+	var wire []byte
+	for i := 0; i < frames; i++ {
+		wire, err = graph.AppendBatchFrame(wire, ringBatch(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain while those frames are in flight. DrainBinary returns once
+	// every handler exited (or after the grace window).
+	done := make(chan struct{})
+	go func() { s.DrainBinary(3 * time.Second); close(done) }()
+
+	// Every frame must be answered: ACK (enqueued before the drain flag
+	// flipped) or shutdown NAK (refused during the drain) — never a
+	// dropped reply or a reset.
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	acked := 0
+	for i := 0; i < frames; i++ {
+		f, err := graph.ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: reply lost during drain: %v", i, err)
+		}
+		switch {
+		case f.Type == graph.FrameAck:
+			acked++
+		case f.Type == graph.FrameNak && f.Nak.Code == graph.NakShutdown:
+			// refused, explicitly — the producer knows to fail over
+		default:
+			t.Fatalf("frame %d: unexpected reply %+v", i, f)
+		}
+	}
+	// The producer is done; close our side so the handler sees EOF.
+	conn.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainBinary did not return after the producer closed")
+	}
+
+	// ACKed mutations must actually be queued (nothing silently dropped).
+	if pending, _ := s.PendingMutations(); pending != acked*10 {
+		t.Fatalf("pending = %d, want %d (10 per ACKed frame)", pending, acked*10)
+	}
+}
+
+// TestBinaryDrainRefusesNewFrames: frames arriving after the drain began
+// are NAKed with the shutdown code and not enqueued.
+func TestBinaryDrainRefusesNewFrames(t *testing.T) {
+	s := testServer(t, nil)
+	addr := startBinary(t, s)
+	c := dialBinary(t, addr)
+
+	if f := c.send(t, ringBatch(10)); f.Type != graph.FrameAck {
+		t.Fatalf("pre-drain frame %+v, want ack", f)
+	}
+	go s.DrainBinary(3 * time.Second)
+	// Wait for the drain flag to flip before sending the late frame.
+	for !s.binDraining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	f := c.send(t, ringBatch(10))
+	if f.Type != graph.FrameNak || f.Nak.Code != graph.NakShutdown {
+		t.Fatalf("post-drain frame %+v, want shutdown NAK", f)
+	}
+	if pending, _ := s.PendingMutations(); pending != 10 {
+		t.Fatalf("pending = %d, want 10 (late batch must not be enqueued)", pending)
+	}
+}

@@ -97,6 +97,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/placements", s.handleBatchPlacements)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -173,10 +174,39 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("vertex %d is not placed (unknown, removed, or still in the ingest queue)", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int64{
+	resp := map[string]int64{
 		"vertex":    id,
 		"partition": int64(p),
-	})
+	}
+	if s.cfg.Exchange != nil {
+		// Cluster mode: every shard answers every read; the owner is the
+		// shard whose decide range covers this vertex's slot.
+		owner := s.ownerShard(graph.VertexID(id))
+		w.Header().Set("X-Apartd-Owner-Shard", strconv.Itoa(owner))
+		resp["owner_shard"] = int64(owner)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTick serves POST /v1/tick: one synchronous coalescing tick, the
+// drive shaft of manual tick mode (TickEvery ≤ 0). With a background
+// loop running the endpoint refuses — interleaving externally driven
+// ticks with the timer's would make tick cadence (and in cluster mode,
+// round pacing) unobservable to the operator. In cluster mode the call
+// blocks until every shard ticks the same round, so operators invoke it
+// on all shards together (ci/cluster-smoke.sh does exactly that).
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.TickEvery > 0 {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("tick loop is automatic (tick=%s); manual ticks need the daemon started with -tick 0", s.cfg.TickEvery))
+		return
+	}
+	res := s.TickNow()
+	if err := s.ClusterError(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("cluster mode failed: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // BatchRequest is the body of POST /v1/placements. It has two mutually

@@ -62,9 +62,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("apartd_heat_workload_weight", "Strength of the workload term in the migration objective (0 = topology-only).", s.cfg.WorkloadWeight)
 	counter("apartd_heat_reads_total", "Serving-plane reads counted by the heat table (exact, pre-sampling).", s.heatTable.TotalReads())
 	counter("apartd_heat_samples_total", "Sampled reads folded into the partitioner at tick boundaries.", s.heatSamples.Load())
-	counter("apartd_heat_folds_total", "Tick-boundary heat folds executed.", s.heatFolds.Load())
+	counter("apartd_heat_folds_total", "Heat folds executed (tick boundaries, plus checkpoint pre-captures).", s.heatFolds.Load())
 	gauge("apartd_heat_hot_vertices", "Vertices with non-zero decayed heat after the last fold.", float64(s.heatHot.Load()))
 	gauge("apartd_heat_max", "Maximum decayed per-vertex heat after the last fold.", math.Float64frombits(s.heatMaxBits.Load()))
+
+	// Cluster plane: emitted only in cluster mode. All O(1) atomics; the
+	// state-hash gauge is the low 32 bits of the assignment fingerprint
+	// (float64 gauges cannot carry 64 bits exactly) — enough for an
+	// operator to diff across shards, with the full hash on /v1/stats.
+	if s.cfg.Exchange != nil {
+		gauge("apartd_cluster_shard", "This replica's shard index.", float64(s.cfg.ClusterShard))
+		gauge("apartd_cluster_shards", "Fixed cluster size.", float64(s.cfg.ClusterShards))
+		gauge("apartd_cluster_healthy", "1 while cluster mode is healthy, 0 once poisoned by divergence or a transport failure.", s.clusterHealthGauge())
+		counter("apartd_cluster_rounds_total", "Exchange rounds completed (batch and step rounds).", s.clusterRounds.Load())
+		counter("apartd_cluster_replayed_rounds_total", "Rounds re-executed from peer journals after a restart.", s.clusterReplayed.Load())
+		gauge("apartd_cluster_round_wait_seconds_total", "Cumulative time spent blocked on round barriers (counter semantics; ratio to wall time ≈ barrier overhead).",
+			time.Duration(s.clusterWaitNs.Load()).Seconds())
+		gauge("apartd_cluster_state_hash_low32", "Low 32 bits of the last batch round's assignment fingerprint; must match across shards.",
+			float64(s.clusterHash.Load()&0xffffffff))
+	}
 
 	pending, age := s.PendingMutations()
 	gauge("apartd_ingest_pending", "Mutations waiting for the next tick.", float64(pending))

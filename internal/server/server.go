@@ -14,9 +14,10 @@
 // rejected with backpressure, not buffered). The tick loop swaps the
 // shard queues out, applies them and runs heuristic iterations under the
 // state lock, held per-iteration so placement queries (read lock)
-// interleave between iterations rather than waiting out a whole tick. Checkpoints capture
-// under the read lock — concurrent queries proceed, adaptation briefly
-// pauses — and write to disk outside any lock.
+// interleave between iterations rather than waiting out a whole tick.
+// Checkpoints capture under the state lock (pending heat samples fold
+// into the partitioner first, so no sampled read is lost between ticks)
+// and write to disk outside any lock.
 package server
 
 import (
@@ -31,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xdgp/internal/cluster"
 	"xdgp/internal/core"
 	"xdgp/internal/graph"
 	"xdgp/internal/heat"
@@ -120,6 +122,22 @@ type Config struct {
 	// objective. Recording is passive: WorkloadWeight == 0 assignments
 	// stay byte-identical with it on or off.
 	HeatRecord bool
+	// Exchange, when non-nil, puts the daemon in cluster mode: it is
+	// shard ClusterShard of ClusterShards replicas of one deterministic
+	// state machine, and every tick runs through barrier rounds on this
+	// exchange (see internal/cluster and cluster.go). The daemon never
+	// closes the Exchange — the caller that built it owns its lifetime,
+	// and must keep it open across Drain so the final rounds complete.
+	// Cluster mode pins Parallelism to ClusterShards and rejects
+	// WorkloadWeight > 0 (read heat is shard-local, so a workload term
+	// would diverge the replicas).
+	Exchange cluster.Exchange
+	// ClusterShard is this replica's shard index in [0, ClusterShards).
+	ClusterShard int
+	// ClusterShards is the fixed cluster size (≥ 2). Changing it — or
+	// the seed, or K — requires a fresh cluster: the geometry is part of
+	// the deterministic contract.
+	ClusterShards int
 }
 
 // DefaultMaxPending is the ingest-queue cap used when Config.MaxPending
@@ -185,6 +203,31 @@ func (c Config) validate() error {
 	if c.HeatSample < 0 {
 		return fmt.Errorf("server: HeatSample must be ≥ 0, got %d", c.HeatSample)
 	}
+	if c.Exchange == nil {
+		if c.ClusterShards != 0 || c.ClusterShard != 0 {
+			return fmt.Errorf("server: ClusterShard/ClusterShards require an Exchange")
+		}
+		return nil
+	}
+	if c.ClusterShards < 2 {
+		return fmt.Errorf("server: cluster mode needs ClusterShards ≥ 2, got %d", c.ClusterShards)
+	}
+	if c.ClusterShard < 0 || c.ClusterShard >= c.ClusterShards {
+		return fmt.Errorf("server: ClusterShard %d outside [0, %d)", c.ClusterShard, c.ClusterShards)
+	}
+	if c.K < 2 {
+		return fmt.Errorf("server: cluster mode needs K ≥ 2, got %d", c.K)
+	}
+	if c.WorkloadWeight != 0 {
+		return fmt.Errorf("server: the workload objective is unavailable in cluster mode (heat is shard-local; replicas would diverge)")
+	}
+	if c.Parallelism != 0 && c.Parallelism != 1 && c.Parallelism != c.ClusterShards {
+		return fmt.Errorf("server: cluster mode pins Parallelism to ClusterShards (%d), got %d", c.ClusterShards, c.Parallelism)
+	}
+	if c.MaxPending < 0 || c.MaxPending > graph.MaxWireBatch {
+		return fmt.Errorf("server: cluster mode needs 0 ≤ MaxPending ≤ %d (a tick's batch must fit one round payload), got %d",
+			graph.MaxWireBatch, c.MaxPending)
+	}
 	return nil
 }
 
@@ -193,6 +236,12 @@ func (c Config) coreConfig() core.Config {
 	cc.S = c.S
 	cc.CapacityFactor = c.CapacityFactor
 	cc.Parallelism = c.Parallelism
+	if c.Exchange != nil {
+		// One RNG stream per cluster shard: replica i advances only
+		// stream i, and the merged outcome equals one process running
+		// Parallelism = ClusterShards (see cluster.go).
+		cc.Parallelism = c.ClusterShards
+	}
 	cc.Incremental = c.Incremental
 	cc.ConvergenceWindow = c.ConvergenceWindow
 	cc.WorkloadWeight = c.WorkloadWeight
@@ -265,11 +314,16 @@ type Server struct {
 	batchLookups  atomic.Uint64 // vertex lookups served by those requests
 
 	// The binary ingest plane (binary.go): live connections tracked for
-	// teardown, plus its own counters.
-	binMu        sync.Mutex
-	binConns     map[net.Conn]struct{}
-	binaryConns  atomic.Int64  // currently connected binary producers
-	binaryFrames atomic.Uint64 // batch frames accepted
+	// teardown, plus its own counters. binDraining flips once DrainBinary
+	// begins — handlers then answer every further batch frame with a
+	// shutdown NAK instead of enqueueing — and binDrainUntil is the drain
+	// window's deadline (unix nanos).
+	binMu         sync.Mutex
+	binConns      map[net.Conn]struct{}
+	binDraining   atomic.Bool
+	binDrainUntil atomic.Int64
+	binaryConns   atomic.Int64  // currently connected binary producers
+	binaryFrames  atomic.Uint64 // batch frames accepted
 
 	// instance identifies this process incarnation. Epochs are
 	// per-process, so a consumer that resumes across a daemon restart
@@ -278,6 +332,21 @@ type Server struct {
 	// Random, not persisted: a restart IS a new incarnation, even from
 	// a checkpoint.
 	instance string
+
+	// Cluster mode (cluster.go). tickMu serializes whole ticks — cluster
+	// rounds must never interleave, and a checkpoint taken between a
+	// decide and its apply would capture advanced RNG streams without
+	// the moves they produced — so TickNow and the public Checkpoint
+	// both hold it for their full duration. clusterRounds is the highest
+	// completed exchange round (persisted in checkpoints as the replay
+	// watermark); clusterErr latches the first failure that poisoned
+	// cluster mode.
+	tickMu          sync.Mutex
+	clusterRounds   atomic.Uint64
+	clusterReplayed atomic.Uint64
+	clusterWaitNs   atomic.Int64
+	clusterHash     atomic.Uint64
+	clusterErr      atomic.Pointer[clusterFault]
 
 	mux      *http.ServeMux
 	started  atomic.Bool
@@ -326,7 +395,13 @@ func Restore(cfg Config, snap *snapshot.Snapshot) (*Server, error) {
 	cfg.Incremental = snap.Params.Incremental
 	cfg.ConvergenceWindow = snap.Params.ConvergenceWindow
 	cfg.WorkloadWeight = snap.Params.WorkloadWeight
+	if err := restoreClusterIdentity(&cfg, snap); err != nil {
+		return nil, err
+	}
 	s := newServer(cfg, coreCfg, p)
+	if snap.Cluster != nil {
+		s.clusterRounds.Store(snap.Cluster.RoundsCompleted)
+	}
 	s.ticks.Store(snap.Meta.Ticks)
 	s.ingested.Store(snap.Meta.MutationsIngested)
 	s.applied.Store(snap.Meta.MutationsApplied)
@@ -518,23 +593,34 @@ func (s *Server) drainPending() graph.Batch {
 	return batch
 }
 
-// TickResult reports one coalescing tick.
+// TickResult reports one coalescing tick. It is also the response body
+// of POST /v1/tick in manual tick mode. In cluster mode BatchSize and
+// Applied count the global merged batch (every shard's mutations), and
+// MorePending reports queued mutations anywhere in the cluster.
 type TickResult struct {
-	BatchSize  int  // mutations coalesced into this tick
-	Applied    int  // mutations that changed the graph
-	Steps      int  // heuristic iterations run
-	Migrations int  // moves granted across those iterations
-	Examined   int  // vertex decisions evaluated across those iterations
-	Converged  bool // partitioner quiescent after the tick
-	Compacted  bool // adjacency arena folded between ticks
-	Checkpoint bool // periodic checkpoint written after the tick
+	BatchSize   int  `json:"batch_size"`   // mutations coalesced into this tick
+	Applied     int  `json:"applied"`      // mutations that changed the graph
+	Steps       int  `json:"steps"`        // heuristic iterations run
+	Migrations  int  `json:"migrations"`   // moves granted across those iterations
+	Examined    int  `json:"examined"`     // vertex decisions evaluated across those iterations
+	Converged   bool `json:"converged"`    // partitioner quiescent after the tick
+	Compacted   bool `json:"compacted"`    // adjacency arena folded between ticks
+	Checkpoint  bool `json:"checkpoint"`   // periodic checkpoint written after the tick
+	MorePending bool `json:"more_pending"` // cluster mode: mutations still queued on some shard
 }
 
 // TickNow runs one coalescing tick synchronously: swap out the pending
 // batch, apply it, and run heuristic iterations until convergence or the
-// per-tick budget. The background loop calls it on every TickEvery; tests
-// and the drain path call it directly.
+// per-tick budget. The background loop calls it on every TickEvery; tests,
+// the drain path and POST /v1/tick (manual mode) call it directly. Ticks
+// are serialized by tickMu: in cluster mode a tick is a sequence of
+// barrier rounds that must not interleave with another tick's.
 func (s *Server) TickNow() TickResult {
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	if s.cfg.Exchange != nil {
+		return s.tickCluster()
+	}
 	batch := s.drainPending()
 
 	var res TickResult
@@ -598,7 +684,8 @@ func (s *Server) TickNow() TickResult {
 	tick := s.ticks.Add(1)
 
 	if s.cfg.CheckpointEvery > 0 && tick%uint64(s.cfg.CheckpointEvery) == 0 {
-		if _, err := s.Checkpoint(s.cfg.CheckpointPath); err == nil {
+		// checkpoint, not Checkpoint: the tick already holds tickMu.
+		if _, err := s.checkpoint(s.cfg.CheckpointPath); err == nil {
 			res.Checkpoint = true
 		} else {
 			s.ckptFailures.Add(1)
@@ -623,6 +710,29 @@ func (s *Server) foldHeatLocked() {
 	s.heatHot.Store(int64(hot))
 }
 
+// foldHeatPendingLocked folds samples still sitting in the heat rings
+// into the partitioner's accumulator at full weight WITHOUT advancing
+// the decay clock (decay factor 1.0) — heat decays once per tick, and a
+// checkpoint between ticks must not insert an extra decay step. Without
+// this fold a checkpoint would silently discard every read sampled since
+// the last tick boundary: Drain on the heat table is destructive, so the
+// rings' contents exist nowhere else, yet the snapshot format persists
+// heat. Caller holds mu (write).
+func (s *Server) foldHeatPendingLocked() {
+	if !s.heatTable.Recording() {
+		return
+	}
+	s.heatBuf = s.heatTable.Drain(s.heatBuf[:0])
+	if len(s.heatBuf) == 0 {
+		return
+	}
+	max, hot := s.part.FoldHeat(1.0, s.heatBuf, float64(s.heatTable.Sample()))
+	s.heatFolds.Add(1)
+	s.heatSamples.Add(uint64(len(s.heatBuf)))
+	s.heatMaxBits.Store(math.Float64bits(max))
+	s.heatHot.Store(int64(hot))
+}
+
 // RecordRead notes one serving-plane read of v in the heat table. It is
 // called on every placement answered — single, batch and replica page
 // lookups — and is wait-free (one atomic add when recording, one atomic
@@ -631,16 +741,29 @@ func (s *Server) RecordRead(v graph.VertexID) { s.heatTable.Record(v) }
 
 // Checkpoint captures the full daemon state and atomically writes it to
 // path (cfg.CheckpointPath when path is empty). Safe to call while
-// serving: capture holds the read lock, the file write happens outside
-// all locks.
+// serving: capture holds the state lock (write — pending heat samples
+// are folded into the partitioner first, so a between-tick checkpoint
+// loses no sampled reads), the file write happens outside all locks.
+// It serializes against whole ticks (tickMu): in cluster mode a capture
+// between a round's decide and apply would snapshot advanced RNG
+// streams without the moves they produced, which could never replay.
 func (s *Server) Checkpoint(path string) (*snapshot.Snapshot, error) {
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	return s.checkpoint(path)
+}
+
+// checkpoint is Checkpoint's body; callers already holding tickMu (the
+// tick loop's periodic checkpoint) use it directly.
+func (s *Server) checkpoint(path string) (*snapshot.Snapshot, error) {
 	if path == "" {
 		path = s.cfg.CheckpointPath
 	}
 	if path == "" {
 		return nil, fmt.Errorf("server: no checkpoint path configured")
 	}
-	s.mu.RLock()
+	s.mu.Lock()
+	s.foldHeatPendingLocked()
 	// Counters are read under the same lock that freezes the partitioner,
 	// so the snapshot's Meta always agrees with its captured graph (tick
 	// mutations update both inside the write-lock window).
@@ -651,9 +774,18 @@ func (s *Server) Checkpoint(path string) (*snapshot.Snapshot, error) {
 		CreatedUnix:       time.Now().Unix(),
 	}
 	snap, err := snapshot.Capture(s.part, s.coreCfg, meta)
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.Exchange != nil {
+		// The replay watermark is consistent with the captured state:
+		// tickMu guarantees no round completed since the capture above.
+		snap.Cluster = &snapshot.ClusterIdentity{
+			ShardID:         uint32(s.cfg.ClusterShard),
+			NumShards:       uint32(s.cfg.ClusterShards),
+			RoundsCompleted: s.clusterRounds.Load(),
+		}
 	}
 	if err := snapshot.Save(path, snap); err != nil {
 		return nil, err
@@ -664,9 +796,16 @@ func (s *Server) Checkpoint(path string) (*snapshot.Snapshot, error) {
 }
 
 // Start launches the background tick loop. Stop (or Drain) terminates
-// it. Calling Start twice is a no-op.
+// it. Calling Start twice is a no-op. With TickEvery ≤ 0 the daemon runs
+// in manual tick mode: no loop starts and POST /v1/tick (or TickNow)
+// drives every tick — the mode cluster tests and the smoke harness use
+// to run all shards' barrier rounds in lockstep.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	if s.cfg.TickEvery <= 0 {
+		close(s.loopDone)
 		return
 	}
 	go func() {
@@ -704,11 +843,29 @@ func (s *Server) Stop() {
 // snapshot must surface to the operator (data since the last good
 // checkpoint would otherwise be silently unrecoverable).
 func (s *Server) Drain(maxTicks int) (int, error) {
+	// Answer the binary plane's in-flight frames before anything closes:
+	// already-ACKed batches sit in the ingest queue (absorbed by the drain
+	// ticks below), later frames get an explicit shutdown NAK. Stop's
+	// force-close then finds no connections left.
+	s.DrainBinary(0)
 	s.Stop()
 	n := 0
 	for ; n < maxTicks; n++ {
 		res := s.TickNow()
 		pending, _ := s.PendingMutations()
+		if s.cfg.Exchange != nil {
+			// Draining is cluster-wide: keep ticking while any shard
+			// reports queued mutations. A poisoned cluster cannot make
+			// progress — stop burning no-op ticks and checkpoint as-is.
+			if s.ClusterError() != nil {
+				break
+			}
+			if !res.MorePending && pending == 0 && res.Converged {
+				n++
+				break
+			}
+			continue
+		}
 		if pending == 0 && res.Converged {
 			n++
 			break
@@ -760,6 +917,9 @@ type Stats struct {
 	HeatFolds      uint64  `json:"heat_folds"`
 	HeatHotVerts   int     `json:"heat_hot_vertices"`
 	HeatMax        float64 `json:"heat_max"`
+	// Cluster is present only in cluster mode: this replica's shard
+	// identity, decide range, round progress and assignment fingerprint.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Stats assembles the current summary. Cut statistics scan every edge
@@ -800,6 +960,7 @@ func (s *Server) Stats() Stats {
 	st.HeatFolds = s.heatFolds.Load()
 	st.HeatHotVerts = int(s.heatHot.Load())
 	st.HeatMax = math.Float64frombits(s.heatMaxBits.Load())
+	st.Cluster = s.clusterStats()
 	return st
 }
 

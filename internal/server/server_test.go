@@ -461,3 +461,55 @@ func TestRestoreRejectsBadConfig(t *testing.T) {
 		t.Fatal("accepted periodic checkpoints without a path")
 	}
 }
+
+// TestCheckpointFoldsPendingHeat pins the checkpoint path's heat
+// durability: reads sampled BETWEEN ticks (still sitting in the heat
+// table's rings, not yet folded into the partitioner) must survive into
+// the snapshot. The old path captured the partitioner as-is, so a
+// checkpoint taken mid-interval silently discarded every read since the
+// last tick — a restore then resumed with a colder heat view than the
+// daemon it replaced.
+func TestCheckpointFoldsPendingHeat(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, func(c *Config) {
+		c.HeatRecord = true
+		c.HeatSample = 1 // sample every read: the test traffic is tiny
+		c.CheckpointPath = filepath.Join(dir, "heat.snap")
+	})
+	if _, ok := s.Enqueue(ringBatch(16)); !ok {
+		t.Fatal("enqueue refused")
+	}
+	s.TickNow()
+
+	// Reads land in the sampling rings; no tick runs before the
+	// checkpoint, so only the checkpoint-time fold can preserve them.
+	hot := graph.VertexID(3)
+	for i := 0; i < 32; i++ {
+		s.Placement(hot)
+	}
+	snap, err := s.Checkpoint("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Core.Heat) <= int(hot) {
+		t.Fatalf("snapshot heat has %d slots, want > %d", len(snap.Core.Heat), hot)
+	}
+	if got := snap.Core.Heat[hot]; got <= 0 {
+		t.Fatalf("snapshot heat[%d] = %g, want > 0: between-tick reads were dropped", hot, got)
+	}
+	if got := snap.Core.Heat[9]; got != 0 {
+		t.Fatalf("snapshot heat[9] = %g, want 0 (never read)", got)
+	}
+
+	// A restored daemon resumes with the folded heat, not a cold table.
+	s2, err := Restore(s.cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+	if snap2, err := s2.Checkpoint(""); err != nil {
+		t.Fatal(err)
+	} else if got := snap2.Core.Heat[hot]; got <= 0 {
+		t.Fatalf("restored heat[%d] = %g, want > 0", hot, got)
+	}
+}

@@ -22,10 +22,13 @@ func downgradeToV2(tb testing.TB, v3 []byte) []byte {
 	// v3 WorkloadWeight f64 — offset 12+56+1+8+1+1 = 79.
 	const wwOff = 79
 	body := v3[:len(v3)-4]
-	if body[len(body)-1] != 0 {
-		tb.Fatal("fixture snapshot unexpectedly carries a heat accumulator")
+	// The current writer ends the body with the heat-presence bool (v3+)
+	// followed by the cluster-presence bool (v4+); a v2 stream has
+	// neither.
+	if body[len(body)-1] != 0 || body[len(body)-2] != 0 {
+		tb.Fatal("fixture snapshot unexpectedly carries a heat accumulator or cluster identity")
 	}
-	out := append([]byte(nil), body[:len(body)-1]...)
+	out := append([]byte(nil), body[:len(body)-2]...)
 	binary.LittleEndian.PutUint32(out[8:12], 2)
 	out = append(out[:wwOff], out[wwOff+8:]...)
 	var crc [4]byte

@@ -47,7 +47,7 @@ import (
 // across the storage change.
 const (
 	Magic   = "XDGPSNAP"
-	Version = 3 // v3: adds Params.WorkloadWeight and the core heat accumulator
+	Version = 4 // v4: adds the optional cluster-identity section
 	// minReadVersion is the oldest version Read still understands.
 	minReadVersion = 2
 )
@@ -143,6 +143,26 @@ type Snapshot struct {
 	Graph      *graph.Graph
 	Assignment *partition.Assignment
 	Core       core.State
+	// Cluster records which cluster shard took the checkpoint and how
+	// many exchange rounds it had applied; nil for single-process
+	// daemons (and for every pre-v4 snapshot).
+	Cluster *ClusterIdentity
+}
+
+// ClusterIdentity pins a checkpoint to one shard of a cluster: a
+// restore must resume as the same shard of the same geometry, and the
+// round count is the exchange watermark the restored replica replays
+// from. Restoring a shard's checkpoint into a different shard slot
+// would replay another shard's RNG responsibilities — refused at the
+// server layer.
+type ClusterIdentity struct {
+	// ShardID is the checkpointing process's shard index.
+	ShardID uint32
+	// NumShards is the cluster size the checkpoint was taken under.
+	NumShards uint32
+	// RoundsCompleted is the number of exchange rounds applied before
+	// the capture; rejoin replays journal rounds above it.
+	RoundsCompleted uint64
 }
 
 // Capture assembles a snapshot from a live partitioner. The graph and
@@ -239,6 +259,14 @@ func Write(w io.Writer, s *Snapshot) error {
 		for _, h := range s.Core.Heat {
 			putU32(&buf, math.Float32bits(h))
 		}
+	}
+
+	// Cluster identity (v4+).
+	putBool(&buf, s.Cluster != nil)
+	if s.Cluster != nil {
+		putU32(&buf, s.Cluster.ShardID)
+		putU32(&buf, s.Cluster.NumShards)
+		putU64(&buf, s.Cluster.RoundsCompleted)
 	}
 
 	putU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
@@ -356,6 +384,13 @@ func Read(r io.Reader) (*Snapshot, error) {
 				s.Core.Heat[i] = math.Float32frombits(d.u32())
 			}
 		}
+	}
+	if version >= 4 && d.bool() {
+		ci := ClusterIdentity{ShardID: d.u32(), NumShards: d.u32(), RoundsCompleted: d.u64()}
+		if d.err == nil && (ci.NumShards < 2 || ci.ShardID >= ci.NumShards) {
+			d.err = fmt.Errorf("implausible cluster identity: shard %d of %d", ci.ShardID, ci.NumShards)
+		}
+		s.Cluster = &ci
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("snapshot: %w", d.err)

@@ -307,3 +307,52 @@ func TestSaveIsAtomic(t *testing.T) {
 		t.Fatalf("temp files left behind: %v", leftovers)
 	}
 }
+
+// TestSnapshotClusterIdentityRoundtrip pins the v4 cluster section:
+// present identities survive a write/read cycle byte-exactly, absent
+// ones stay absent, and implausible geometry is rejected at decode.
+func TestSnapshotClusterIdentityRoundtrip(t *testing.T) {
+	cfg := testConfig(3, true)
+	p := newRunningPartitioner(t, cfg)
+	for i := 0; i < 3; i++ {
+		p.Step()
+	}
+	snap, err := Capture(p, cfg, Meta{Ticks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var plain bytes.Buffer
+	if err := Write(&plain, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cluster != nil {
+		t.Fatalf("single-process snapshot restored cluster identity %+v", got.Cluster)
+	}
+
+	snap.Cluster = &ClusterIdentity{ShardID: 1, NumShards: 3, RoundsCompleted: 4242}
+	var clustered bytes.Buffer
+	if err := Write(&clustered, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(bytes.NewReader(clustered.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cluster == nil || *got.Cluster != *snap.Cluster {
+		t.Fatalf("cluster identity roundtrip: %+v, want %+v", got.Cluster, snap.Cluster)
+	}
+
+	snap.Cluster = &ClusterIdentity{ShardID: 5, NumShards: 2}
+	var bad bytes.Buffer
+	if err := Write(&bad, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(bad.Bytes())); err == nil {
+		t.Fatal("implausible cluster identity accepted")
+	}
+}
