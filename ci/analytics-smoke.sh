@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 smoke of the streaming analytics suite: runs the "apps"
+# experiment in miniature — all three streaming programs (connected
+# components, SSSP, PageRank) over a churning BA graph, adaptive vs
+# static partitioning. Every cell is oracle-checked inside the driver
+# (drained and diffed against a from-scratch recompute), so a green run
+# certifies correct answers under churn with migrations in flight, not
+# just that the binary ran. The nightly analytics-churn job repeats this
+# at 100k-vertex scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go run ./cmd/experiments -run apps -quick
+go run ./cmd/experiments -run apps -quick -incremental

@@ -43,3 +43,8 @@ go test -run='^$' -bench 'BenchmarkPlacementUnderAdaptation|BenchmarkBatchLookup
 # pair IS gated — the heat table must not slow the serving plane.
 go test -run='^$' -bench 'BenchmarkPlacementHeat' \
   -benchtime="$BENCHTIME" -count="$COUNT" ./internal/server
+# Streaming analytics: absorbing one churn batch (100 edge rewires on a
+# converged BA-10k instance) with the self-repairing connected-components
+# program — the incremental re-flood path's per-batch cost. Gated.
+go test -run='^$' -bench 'BenchmarkStreamingCCChurn' \
+  -benchtime="$BENCHTIME" -count="$COUNT" ./internal/apps

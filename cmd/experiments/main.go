@@ -37,6 +37,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "shards for the quality experiments' vertex sweep (0 = paper-exact sequential)")
 		workers  = fs.Int("workers", 0, "compute goroutines per BSP engine (0 = one per partition)")
 		increm   = fs.Bool("incremental", false, "active-set scheduler for the heuristic and the BSP service (full sweep when off)")
+		app      = fs.String("app", "", "filter the analytics-suite experiment to one streaming program: cc, sssp or pagerank (empty = full matrix)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +51,7 @@ func run(args []string) error {
 	opt := experiments.Options{
 		Quick: *quick, Reps: *reps, Seed: *seed, Out: os.Stdout,
 		Parallelism: *parallel, Workers: *workers, Incremental: *increm,
+		App: *app,
 	}
 	ids := []string{*runID}
 	if *runID == "all" {

@@ -19,6 +19,17 @@
 // of a vertex's own neighbours (available locally because every worker
 // hears migration notices for vertices adjacent to its own) and the
 // delayed capacity vector.
+//
+// Program independence: with HotSpotAware off, a Plan pass reads only the
+// topology, the assignment and the delayed capacity view — never the
+// vertex values or message traffic of the program running above it — and
+// consumes its RNG in an order determined by those inputs alone. Two
+// engines running different vertex programs over the same seed, initial
+// assignment and mutation stream therefore receive byte-identical
+// migration plans (pinned by TestAnalyticsDoNotPerturbPartitionerRNG in
+// internal/apps). HotSpotAware trades this away deliberately: it folds
+// measured per-partition compute times into the advertised capacities,
+// coupling placement to the workload.
 package adaptive
 
 import (

@@ -1,9 +1,3 @@
-// Package apps contains the vertex programs used by the paper's evaluation:
-// the cardiac finite-element simulation (biomedical use case), TunkRank
-// (online-social-network use case), maximal-clique detection (mobile-network
-// use case), plus PageRank, single-source shortest paths and connected
-// components used by examples and tests. All programs follow the engine's
-// Pregel-style API.
 package apps
 
 import (

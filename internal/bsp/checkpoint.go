@@ -24,6 +24,8 @@ type checkpoint struct {
 	values      []any
 	halted      []bool
 	inbox       [][]any
+	mutNotice   []bool
+	lastMutated []graph.VertexID
 	pendingHome map[graph.VertexID]partition.ID
 	aggregated  map[string]float64
 }
@@ -36,6 +38,8 @@ func (e *Engine) snapshot() {
 		addr:        e.addr.Clone(),
 		home:        append([]int32(nil), e.home...),
 		halted:      append([]bool(nil), e.halted...),
+		mutNotice:   append([]bool(nil), e.mutNotice...),
+		lastMutated: append([]graph.VertexID(nil), e.lastMutated...),
 		values:      make([]any, len(e.values)),
 		inbox:       make([][]any, len(e.inbox)),
 		pendingHome: make(map[graph.VertexID]partition.ID, len(e.pendingHome)),
@@ -72,6 +76,8 @@ func (e *Engine) restore() {
 	e.addr = cp.addr.Clone()
 	e.home = append([]int32(nil), cp.home...)
 	e.halted = append([]bool(nil), cp.halted...)
+	e.mutNotice = append([]bool(nil), cp.mutNotice...)
+	e.lastMutated = append([]graph.VertexID(nil), cp.lastMutated...)
 	e.values = make([]any, len(cp.values))
 	cloner, hasCloner := e.prog.(ValueCloner)
 	for i, v := range cp.values {

@@ -219,6 +219,12 @@ type Engine struct {
 	values []any
 	halted []bool
 	inbox  [][]any
+	// mutNotice marks vertices whose immediate neighbourhood changed at the
+	// most recent barrier. Programs read it during the following compute
+	// phase via VertexContext.TopologyChanged; it is cleared at the next
+	// barrier, so a notice is visible for exactly one superstep — the
+	// program-facing twin of View.MutatedVertices.
+	mutNotice []bool
 
 	workers    []*worker
 	combiner   MessageCombiner
@@ -313,6 +319,7 @@ func (e *Engine) grow() {
 		e.values = append(e.values, nil)
 		e.halted = append(e.halted, false)
 		e.inbox = append(e.inbox, nil)
+		e.mutNotice = append(e.mutNotice, false)
 	}
 	e.addr.Grow(e.g.NumSlots())
 }
@@ -465,7 +472,14 @@ func (e *Engine) RunSuperstep() SuperstepStats {
 	}
 
 	// 3. Apply the stream's mutation batch, recording the touched
-	// vertices for View.MutatedVertices.
+	// vertices for View.MutatedVertices. The notices delivered during this
+	// superstep's compute phase (set at the previous barrier) expire first:
+	// a notice is visible for exactly one superstep.
+	for _, v := range e.lastMutated {
+		if int(v) < len(e.mutNotice) {
+			e.mutNotice[v] = false
+		}
+	}
 	e.lastMutated = e.lastMutated[:0]
 	if e.stream != nil && !e.stream.Done() {
 		st.Mutations = e.applyBatch(e.stream.Next())
@@ -594,7 +608,10 @@ func (e *Engine) computeWorker(w *worker, t int) {
 
 // applyBatch applies a stream batch at the barrier: vertices/edges change,
 // new vertices are placed and initialised, removed vertices are retired,
-// and mutation-touched vertices are reactivated.
+// and every mutation-touched vertex — including the ex-neighbours of a
+// removed vertex, which have no surviving edge back to the cause — is
+// reactivated and flagged with a topology-change notice for the next
+// compute phase.
 func (e *Engine) applyBatch(b graph.Batch) int {
 	if len(b) == 0 {
 		return 0
@@ -607,39 +624,13 @@ func (e *Engine) applyBatch(b graph.Batch) int {
 	}
 	e.grow()
 	ctx := &VertexContext{engine: e, superstep: e.superstep}
-	place := func(v graph.VertexID) {
-		if !e.g.Has(v) || e.addr.Of(v) != partition.None {
-			return
-		}
-		var p partition.ID
-		if e.cfg.Placer != nil {
-			p = e.cfg.Placer(v, e.k)
-		} else {
-			p = partition.HashVertex(v, e.k)
-		}
-		e.addr.Assign(v, p)
-		e.home[v] = int32(p)
-		ctx.id = v
-		e.values[v] = e.prog.Init(ctx)
-		e.halted[v] = false
-	}
-	activate := func(v graph.VertexID) {
-		if e.g.Has(v) {
-			e.halted[v] = false
-		}
-	}
 	for _, mu := range b {
 		switch mu.Kind {
 		case graph.MutAddVertex:
-			place(mu.U)
+			e.place(ctx, mu.U)
 		case graph.MutAddEdge:
-			place(mu.U)
-			place(mu.V)
-			activate(mu.U)
-			activate(mu.V)
-		case graph.MutRemoveEdge:
-			activate(mu.U)
-			activate(mu.V)
+			e.place(ctx, mu.U)
+			e.place(ctx, mu.V)
 		case graph.MutRemoveVertex:
 			if !e.g.Has(mu.U) && e.addr.Of(mu.U) != partition.None {
 				e.addr.Unassign(mu.U)
@@ -647,11 +638,37 @@ func (e *Engine) applyBatch(b graph.Batch) int {
 				e.values[mu.U] = nil
 				e.inbox[mu.U] = nil
 				e.halted[mu.U] = false
+				e.mutNotice[mu.U] = false
 				delete(e.pendingHome, mu.U)
 			}
 		}
 	}
+	for _, v := range e.lastMutated {
+		if e.g.Has(v) {
+			e.halted[v] = false
+			e.mutNotice[v] = true
+		}
+	}
 	return applied
+}
+
+// place assigns a partition to a vertex arriving from the stream and runs
+// the program's Init for it; existing vertices are left untouched.
+func (e *Engine) place(ctx *VertexContext, v graph.VertexID) {
+	if !e.g.Has(v) || e.addr.Of(v) != partition.None {
+		return
+	}
+	var p partition.ID
+	if e.cfg.Placer != nil {
+		p = e.cfg.Placer(v, e.k)
+	} else {
+		p = partition.HashVertex(v, e.k)
+	}
+	e.addr.Assign(v, p)
+	e.home[v] = int32(p)
+	ctx.id = v
+	e.values[v] = e.prog.Init(ctx)
+	e.halted[v] = false
 }
 
 // Quiescent reports whether the computation has nothing left to do: no

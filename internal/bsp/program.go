@@ -110,6 +110,27 @@ func (c *VertexContext) SendToNeighbors(msg any) {
 	}
 }
 
+// TopologyChanged reports whether the graph changed in the vertex's
+// immediate neighbourhood at the previous barrier: an incident edge was
+// added or removed, the vertex itself just arrived from the stream, or a
+// neighbour was removed (taking its edges with it). It is the
+// program-facing twin of View.MutatedVertices — streaming programs use it
+// to trigger targeted repair (re-flood, invalidation) instead of
+// recomputing from scratch. The notice is visible for exactly one
+// superstep; vertices holding one are always activated for it.
+func (c *VertexContext) TopologyChanged() bool { return c.engine.mutNotice[c.id] }
+
+// HasNeighbor reports whether w is currently an out-neighbour of the
+// vertex. Streaming programs use it to validate derivations (e.g. a
+// shortest-path parent) against the post-mutation topology.
+func (c *VertexContext) HasNeighbor(w graph.VertexID) bool {
+	return c.engine.g.HasEdge(c.id, w)
+}
+
+// NumVertices returns the number of live vertices in the graph — the
+// bound incremental SSSP uses to cut count-to-infinity walks short.
+func (c *VertexContext) NumVertices() int { return c.engine.g.NumVertices() }
+
 // VoteToHalt deactivates the vertex; it reactivates when a message arrives
 // or an incident mutation occurs.
 func (c *VertexContext) VoteToHalt() { c.engine.halted[c.id] = true }

@@ -62,3 +62,36 @@ type SuperstepStats struct {
 	// checkpoint rollback; Time then includes the recovery pause.
 	Recovered bool
 }
+
+// RunTotals aggregates a run's (or a phase's) supersteps into the totals
+// the analytics experiments report: simulated time, message volume split
+// by locality, and migration/mutation counts. RemoteMsgs is the
+// communication-cost headline — the cut-message count the paper's
+// "adaptation pays" argument is about.
+type RunTotals struct {
+	Supersteps          int
+	Time                float64
+	ActiveVertices      int
+	LocalMsgs           int
+	RemoteMsgs          int
+	MigrationsStarted   int
+	MigrationsCompleted int
+	Mutations           int
+}
+
+// Summarize folds a slice of per-superstep stats (e.g. a churn phase cut
+// out of Engine.History) into run totals.
+func Summarize(history []SuperstepStats) RunTotals {
+	var t RunTotals
+	for _, st := range history {
+		t.Supersteps++
+		t.Time += st.Time
+		t.ActiveVertices += st.ActiveVertices
+		t.LocalMsgs += st.LocalMsgs
+		t.RemoteMsgs += st.RemoteMsgs
+		t.MigrationsStarted += st.MigrationsStarted
+		t.MigrationsCompleted += st.MigrationsCompleted
+		t.Mutations += st.Mutations
+	}
+	return t
+}

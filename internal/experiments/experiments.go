@@ -55,6 +55,10 @@ type Options struct {
 	// variant installs a heat trace; the knob exists so such variants
 	// share the standard harness.
 	WorkloadWeight float64
+	// App filters the analytics-suite experiment ("apps") to one streaming
+	// program: "cc", "sssp" or "pagerank". Empty runs the full matrix. The
+	// other experiments ignore it.
+	App string
 }
 
 // coreParallelism resolves the shard count for core.Config.Parallelism:
@@ -164,6 +168,7 @@ func Registry() []struct {
 		{"fig7", "Figure 7: biomedical use case", Figure7},
 		{"fig8", "Figure 8: online social network use case", Figure8},
 		{"fig9", "Figure 9: mobile network use case", Figure9},
+		{"apps", "Analytics suite: streaming apps under churn, adaptive vs static", Apps},
 	}
 }
 

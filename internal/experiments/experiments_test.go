@@ -12,7 +12,7 @@ func quickOpt() Options {
 
 func TestRegistryAndDispatch(t *testing.T) {
 	ids := IDs()
-	want := []string{"table1", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	want := []string{"table1", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "apps"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v", ids)
 	}
@@ -239,6 +239,35 @@ func TestFigure9Shape(t *testing.T) {
 	st := res.Values[sprintWeek(4, "static.time")]
 	if dt >= st*0.8 {
 		t.Errorf("week 4: dynamic time %.3f not well below static %.3f", dt, st)
+	}
+}
+
+func TestAppsShape(t *testing.T) {
+	res, err := Apps(Options{Quick: true, Seed: 1, App: "cc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The driver oracle-checks every cell internally, so reaching here
+	// means answers were exact; pin that adaptation paid on both rates.
+	for _, rate := range []string{"lo", "hi"} {
+		s := res.Values["cc."+rate+".static.cutmsgs"]
+		a := res.Values["cc."+rate+".adaptive.cutmsgs"]
+		if s <= 0 || a <= 0 {
+			t.Fatalf("rate %s: missing cut-message data (static=%v adaptive=%v)", rate, s, a)
+		}
+		if a >= s {
+			t.Errorf("rate %s: adaptive cut msgs %.0f not below static %.0f", rate, a, s)
+		}
+		if red := res.Values["cc."+rate+".reduction"]; red < 0.05 {
+			t.Errorf("rate %s: reduction %.3f below shape threshold", rate, red)
+		}
+		if res.Values["cc."+rate+".adaptive.migrations"] <= 0 {
+			t.Errorf("rate %s: adaptive cell recorded no migrations", rate)
+		}
+	}
+	// Unknown app filter must error.
+	if _, err := Apps(Options{Quick: true, Seed: 1, App: "nope"}); err == nil {
+		t.Fatal("unknown app filter must error")
 	}
 }
 
